@@ -1,0 +1,202 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// bench per artifact, in paper-replay mode so a full -bench=. pass
+// stays in CI budget) plus the ablation benches called out in
+// DESIGN.md §5. Run:
+//
+//	go test -bench=. -benchmem
+package lasvegas_test
+
+import (
+	"context"
+	"testing"
+
+	"lasvegas/internal/adaptive"
+	"lasvegas/internal/core"
+	"lasvegas/internal/csp"
+	"lasvegas/internal/dist"
+	"lasvegas/internal/experiments"
+	"lasvegas/internal/multiwalk"
+	"lasvegas/internal/orderstat"
+	"lasvegas/internal/paperdata"
+	"lasvegas/internal/problems"
+	"lasvegas/internal/xrand"
+)
+
+// benchArtifact regenerates one experiment per iteration.
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	lab := experiments.NewLab(experiments.Config{Paper: true, SimReps: 300})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Run(ctx, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1SequentialTimes(b *testing.B) { benchArtifact(b, "table1") }
+func BenchmarkTable2SequentialIters(b *testing.B) { benchArtifact(b, "table2") }
+func BenchmarkTable3TimeSpeedups(b *testing.B)    { benchArtifact(b, "table3") }
+func BenchmarkTable4IterSpeedups(b *testing.B)    { benchArtifact(b, "table4") }
+func BenchmarkTable5PredVsActual(b *testing.B)    { benchArtifact(b, "table5") }
+func BenchmarkFig1GaussianMin(b *testing.B)       { benchArtifact(b, "fig1") }
+func BenchmarkFig2ExpMin(b *testing.B)            { benchArtifact(b, "fig2") }
+func BenchmarkFig3ExpSpeedup(b *testing.B)        { benchArtifact(b, "fig3") }
+func BenchmarkFig4LognormalMin(b *testing.B)      { benchArtifact(b, "fig4") }
+func BenchmarkFig5LognormalSpeedup(b *testing.B)  { benchArtifact(b, "fig5") }
+func BenchmarkFig6CSPLibSpeedups(b *testing.B)    { benchArtifact(b, "fig6") }
+func BenchmarkFig7CostasSpeedups(b *testing.B)    { benchArtifact(b, "fig7") }
+func BenchmarkFig8AIHistogram(b *testing.B)       { benchArtifact(b, "fig8") }
+func BenchmarkFig9AIPrediction(b *testing.B)      { benchArtifact(b, "fig9") }
+func BenchmarkFig10MSHistogram(b *testing.B)      { benchArtifact(b, "fig10") }
+func BenchmarkFig11MSPrediction(b *testing.B)     { benchArtifact(b, "fig11") }
+func BenchmarkFig12CostasHistogram(b *testing.B)  { benchArtifact(b, "fig12") }
+func BenchmarkFig13CostasPrediction(b *testing.B) { benchArtifact(b, "fig13") }
+func BenchmarkFig14Costas8192(b *testing.B)       { benchArtifact(b, "fig14") }
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationQuantileVsTimeDomain compares the two E[Z(n)]
+// integration strategies on the paper's MS 200 lognormal at n=256.
+func BenchmarkAblationQuantileVsTimeDomain(b *testing.B) {
+	d := paperdata.FittedMS200()
+	b.Run("quantile-domain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := orderstat.Moment(d, 256, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("time-domain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := orderstat.MeanMinTimeDomain(d, 256); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationEmpiricalVsParametric compares the plug-in
+// empirical predictor against the parametric closed form on a
+// 650-observation pool across the paper's core grid.
+func BenchmarkAblationEmpiricalVsParametric(b *testing.B) {
+	truth := paperdata.FittedAI700()
+	sample := dist.SampleN(truth, xrand.New(1), 650)
+	emp, err := core.NewEmpirical(sample)
+	if err != nil {
+		b.Fatal(err)
+	}
+	par, err := core.NewPredictor(truth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("plug-in-empirical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, n := range paperdata.Cores {
+				if _, err := emp.Speedup(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("parametric-closed-form", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, n := range paperdata.Cores {
+				if _, err := par.Speedup(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// plainProblem hides the incremental interface, forcing the solver's
+// swap-recompute-swap fallback.
+type plainProblem struct{ csp.Problem }
+
+// BenchmarkAblationIncrementalCost measures one full Adaptive Search
+// solve of all-interval-14 with and without incremental swap deltas.
+func BenchmarkAblationIncrementalCost(b *testing.B) {
+	solve := func(b *testing.B, wrap bool) {
+		for i := 0; i < b.N; i++ {
+			p, err := problems.New(problems.AllInterval, 14)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var prob csp.Problem = p
+			if wrap {
+				prob = plainProblem{p}
+			}
+			s, err := adaptive.New(prob, adaptive.Params{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res := s.Run(xrand.New(uint64(i))); !res.Solved {
+				b.Fatal("unsolved")
+			}
+		}
+	}
+	b.Run("incremental-O(1)-swaps", func(b *testing.B) { solve(b, false) })
+	b.Run("full-recompute-swaps", func(b *testing.B) { solve(b, true) })
+}
+
+// BenchmarkAblationRealVsSimulatedWalk compares one multi-walk
+// measurement through the real goroutine engine and through
+// min-resampling, at 4 walkers on queens-20.
+func BenchmarkAblationRealVsSimulatedWalk(b *testing.B) {
+	factory := func() (csp.Problem, error) { return problems.New(problems.Queens, 20) }
+	runner, err := multiwalk.SolverRunner(factory, adaptive.Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	pool := make([]float64, 100)
+	for i := range pool {
+		out, err := multiwalk.Run(ctx, runner, multiwalk.Options{Walkers: 1, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool[i] = float64(out.Iterations)
+	}
+	b.ResetTimer()
+	b.Run("real-goroutines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := multiwalk.Run(ctx, runner, multiwalk.Options{Walkers: 4, Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("simulated-min-resampling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := multiwalk.Simulate(pool, 4, 1, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAdaptiveSolve measures one sequential solve per paper
+// benchmark at the scaled default sizes — the unit of work behind
+// every live campaign.
+func BenchmarkAdaptiveSolve(b *testing.B) {
+	for _, kind := range []problems.Kind{problems.AllInterval, problems.MagicSquare, problems.Costas, problems.Queens} {
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			size := problems.DefaultSize(kind)
+			for i := 0; i < b.N; i++ {
+				p, err := problems.New(kind, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := adaptive.New(p, adaptive.Params{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res := s.Run(xrand.New(uint64(i))); !res.Solved {
+					b.Fatal("unsolved")
+				}
+			}
+		})
+	}
+}

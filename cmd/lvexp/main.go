@@ -1,0 +1,145 @@
+// Command lvexp regenerates the paper's evaluation: every table
+// (1–5) and every figure (1–14), in paper mode (replaying the
+// published numbers through this library's pipeline) or live mode
+// (fresh campaigns on scaled instances).
+//
+// Usage:
+//
+//	lvexp -paper                    # replay the published evaluation
+//	lvexp -run table5 -paper        # one experiment
+//	lvexp -runs 300 -seed 7         # full live reproduction
+//	lvexp -run fig9 -csv            # include machine-readable series
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"lasvegas/internal/experiments"
+	"lasvegas/internal/problems"
+)
+
+func main() {
+	var (
+		runID   = flag.String("run", "all", "experiment id (table1..table5, fig1..fig14) or 'all'")
+		paper   = flag.Bool("paper", false, "replay the published evaluation numbers")
+		runs    = flag.Int("runs", 200, "sequential runs per live campaign")
+		simReps = flag.Int("simreps", 3000, "simulated multi-walk repetitions per point")
+		seed    = flag.Uint64("seed", 1, "seed")
+		coresS  = flag.String("cores", "16,32,64,128,256", "core grid for tables 3-5")
+		sizesS  = flag.String("sizes", "", "live instance sizes, e.g. all-interval=20,magic-square=6,costas=10")
+		withCSV = flag.Bool("csv", false, "print the CSV series of figures")
+		outDir  = flag.String("out", "", "also write each artifact (<id>.txt, <id>.csv) into this directory")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	cores, err := parseInts(*coresS)
+	if err != nil {
+		fatal(err)
+	}
+	sizes, err := parseSizes(*sizesS)
+	if err != nil {
+		fatal(err)
+	}
+	lab := experiments.NewLab(experiments.Config{
+		Paper:   *paper,
+		Runs:    *runs,
+		SimReps: *simReps,
+		Seed:    *seed,
+		Cores:   cores,
+		Sizes:   sizes,
+	})
+	ctx := context.Background()
+
+	var arts []*experiments.Artifact
+	if *runID == "all" {
+		arts, err = lab.RunAll(ctx)
+	} else {
+		var a *experiments.Artifact
+		a, err = lab.Run(ctx, *runID)
+		arts = []*experiments.Artifact{a}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	for _, a := range arts {
+		fmt.Println(a.Render())
+		if *withCSV && a.CSV != "" {
+			fmt.Println("--- csv ---")
+			fmt.Println(a.CSV)
+		}
+	}
+	if *outDir != "" {
+		if err := writeArtifacts(*outDir, arts); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d artifacts to %s\n", len(arts), *outDir)
+	}
+}
+
+// writeArtifacts persists rendered artifacts and their CSV series.
+func writeArtifacts(dir string, arts []*experiments.Artifact) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, a := range arts {
+		if err := os.WriteFile(filepath.Join(dir, a.ID+".txt"), []byte(a.Render()), 0o644); err != nil {
+			return err
+		}
+		if a.CSV != "" {
+			if err := os.WriteFile(filepath.Join(dir, a.ID+".csv"), []byte(a.CSV), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad core count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseSizes(s string) (map[problems.Kind]int, error) {
+	sizes := map[problems.Kind]int{}
+	if s == "" {
+		return sizes, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad size %q (want family=N)", kv)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad size value %q", v)
+		}
+		sizes[problems.Kind(strings.TrimSpace(k))] = n
+	}
+	return sizes, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lvexp:", err)
+	os.Exit(1)
+}

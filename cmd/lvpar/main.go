@@ -1,0 +1,125 @@
+// Command lvpar runs real multi-walk parallel executions (goroutines
+// as cores, first-wins cancellation) and reports measured speed-ups
+// against a sequential baseline — the miniature of the paper's
+// Grid'5000 runs. For core counts beyond the machine, it also prints
+// the simulated multi-walk measurement from the same pool.
+//
+// Usage:
+//
+//	lvpar -problem costas -size 11 -walkers 2,4,8 -reps 20
+//	lvpar -in costas12.json -walkers 16,64,256,1024 -simulated
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"lasvegas/internal/adaptive"
+	"lasvegas/internal/csp"
+	"lasvegas/internal/multiwalk"
+	"lasvegas/internal/problems"
+	"lasvegas/internal/runtimes"
+	"lasvegas/internal/stats"
+)
+
+func main() {
+	var (
+		problem  = flag.String("problem", "costas", "problem family")
+		size     = flag.Int("size", 0, "instance size (0 = scaled default)")
+		in       = flag.String("in", "", "campaign JSON (baseline pool; otherwise collected live)")
+		walkersS = flag.String("walkers", "2,4,8", "comma-separated walker counts")
+		reps     = flag.Int("reps", 15, "multi-walk repetitions per walker count")
+		baseRuns = flag.Int("baseruns", 100, "sequential baseline runs when no -in is given")
+		seed     = flag.Uint64("seed", 1, "seed")
+		simOnly  = flag.Bool("simulated", false, "skip real goroutine runs; only min-resampling simulation")
+		simReps  = flag.Int("simreps", 3000, "repetitions for the simulated engine")
+	)
+	flag.Parse()
+
+	walkers, err := parseInts(*walkersS)
+	if err != nil {
+		fatal(err)
+	}
+	kind := problems.Kind(*problem)
+	if *size == 0 {
+		*size = problems.DefaultSize(kind)
+	}
+	factory := func() (csp.Problem, error) { return problems.New(kind, *size) }
+
+	// Baseline pool.
+	var pool []float64
+	var label string
+	if *in != "" {
+		c, err := runtimes.LoadJSON(*in)
+		if err != nil {
+			fatal(err)
+		}
+		pool, label = c.Iterations, c.Problem
+	} else {
+		if _, err := factory(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("collecting %d sequential baseline runs of %s-%d...\n", *baseRuns, kind, *size)
+		c, err := runtimes.Collect(context.Background(), factory, adaptive.Params{}, *baseRuns, *seed, 0)
+		if err != nil {
+			fatal(err)
+		}
+		pool, label = c.Iterations, c.Problem
+	}
+	seqMean := stats.Mean(pool)
+	fmt.Printf("baseline: %s, mean %.4g iterations over %d runs\n\n", label, seqMean, len(pool))
+
+	fmt.Printf("%-8s %18s %18s\n", "walkers", "real speed-up", "simulated speed-up")
+	simPts, err := multiwalk.MeasureSimulated(pool, walkers, *simReps, *seed^0x51)
+	if err != nil {
+		fatal(err)
+	}
+	var realPts []multiwalk.SpeedupPoint
+	if !*simOnly {
+		runner, err := multiwalk.SolverRunner(factory, adaptive.Params{})
+		if err != nil {
+			fatal(err)
+		}
+		realPts, err = multiwalk.MeasureReal(context.Background(), runner, seqMean, walkers, *reps, *seed^0xEA)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	for i, n := range walkers {
+		realCell := "-"
+		if realPts != nil {
+			realCell = fmt.Sprintf("%.2f", realPts[i].Speedup)
+			if n > runtime.NumCPU() {
+				realCell += " (oversub.)"
+			}
+		}
+		fmt.Printf("%-8d %18s %18.2f\n", n, realCell, simPts[i].Speedup)
+	}
+	if !*simOnly {
+		fmt.Printf("\nnote: real walkers beyond %d physical cores time-share the CPU;\n", runtime.NumCPU())
+		fmt.Println("iteration-metric speed-ups stay meaningful, wall-clock ones do not (paper §5.5).")
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad walker count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lvpar:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,168 @@
+// Command lvpredict runs the paper's §6 pipeline: load (or collect) a
+// sequential runtime sample, fit candidate distribution families,
+// rank them by Kolmogorov–Smirnov p-value, and predict multi-walk
+// parallel speed-ups — both from the best parametric fit and from the
+// nonparametric empirical plug-in.
+//
+// Usage:
+//
+//	lvpredict -in costas12.json -cores 16,32,64,128,256
+//	lvpredict -problem all-interval -size 20 -runs 200
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lasvegas/internal/adaptive"
+	"lasvegas/internal/core"
+	"lasvegas/internal/csp"
+	"lasvegas/internal/fit"
+	"lasvegas/internal/ks"
+	"lasvegas/internal/problems"
+	"lasvegas/internal/restart"
+	"lasvegas/internal/runtimes"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "campaign JSON produced by lvseq (alternative to -problem)")
+		problem = flag.String("problem", "", "collect live: problem family")
+		size    = flag.Int("size", 0, "instance size (0 = scaled default)")
+		runs    = flag.Int("runs", 200, "sequential runs when collecting live")
+		seed    = flag.Uint64("seed", 1, "seed")
+		coresS  = flag.String("cores", "16,32,64,128,256", "comma-separated core counts")
+		alpha   = flag.Float64("alpha", 0.05, "KS significance level")
+	)
+	flag.Parse()
+
+	cores, err := parseCores(*coresS)
+	if err != nil {
+		fatal(err)
+	}
+	sample, label, err := loadSample(*in, *problem, *size, *runs, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sample: %s (%d observations)\n\n", label, len(sample))
+
+	// §6: candidate families ranked by KS p-value, with the
+	// tail-sensitive Anderson–Darling verdict alongside.
+	results, err := fit.Auto(sample, fit.FamExponential, fit.FamShiftedExponential,
+		fit.FamLogNormal, fit.FamNormal, fit.FamLevy)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-22s %-42s %9s %9s %9s %s\n", "family", "fitted", "KS D", "KS p", "AD p", "verdict")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%-22s %-42s %9s %9s %9s could not fit (%v)\n", r.Family, "-", "-", "-", "-", r.Err)
+			continue
+		}
+		adP := "-"
+		if ad, err := ks.AndersonDarling(sample, r.Dist); err == nil {
+			adP = fmt.Sprintf("%.4f", ad.PValue)
+		}
+		verdict := "accepted"
+		if r.KS.RejectAt(*alpha) {
+			verdict = fmt.Sprintf("REJECTED at α=%g", *alpha)
+		}
+		fmt.Printf("%-22s %-42s %9.4f %9.4f %9s %s\n", r.Family, r.Dist.String(), r.KS.D, r.KS.PValue, adP, verdict)
+	}
+
+	best, err := fit.Best(sample, *alpha, fit.FamExponential, fit.FamShiftedExponential, fit.FamLogNormal)
+	if err != nil {
+		fatal(fmt.Errorf("no family accepted: %w", err))
+	}
+	pred, err := core.NewPredictor(best.Dist)
+	if err != nil {
+		fatal(err)
+	}
+	plug, err := core.NewEmpirical(sample)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nbest fit: %s (p=%.4f)\n", best.Dist, best.KS.PValue)
+	if pred.Linear() {
+		fmt.Println("prediction: strictly linear speed-up (x0 = 0 exponential case)")
+	}
+	fmt.Printf("speed-up limit (n→∞): %.4g   tangent at origin: %.4g\n", pred.Limit(), pred.TangentAtOrigin())
+
+	// The same fitted law also prices the restart strategy.
+	if opt, err := restart.OptimalCutoff(best.Dist); err == nil {
+		switch {
+		case opt.Gain > 1.001:
+			fmt.Printf("restart analysis: cutoff %.4g gains %.2fx sequentially (heavy tail)\n\n", opt.Cutoff, opt.Gain)
+		default:
+			fmt.Printf("restart analysis: no finite cutoff helps (gain %.3f) — parallelize instead\n\n", opt.Gain)
+		}
+	} else {
+		fmt.Println()
+	}
+
+	fmt.Printf("%-8s %16s %16s\n", "cores", "G(n) parametric", "G(n) plug-in")
+	for _, n := range cores {
+		gp, err := pred.Speedup(n)
+		if err != nil {
+			fatal(err)
+		}
+		ge, err := plug.Speedup(n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8d %16.2f %16.2f\n", n, gp, ge)
+	}
+}
+
+func loadSample(in, problem string, size, runs int, seed uint64) ([]float64, string, error) {
+	switch {
+	case in != "":
+		c, err := runtimes.LoadJSON(in)
+		if err != nil {
+			return nil, "", err
+		}
+		name := c.Problem
+		if name == "" {
+			name = in
+		}
+		return c.Iterations, name, nil
+	case problem != "":
+		kind := problems.Kind(problem)
+		if size == 0 {
+			size = problems.DefaultSize(kind)
+		}
+		factory := func() (csp.Problem, error) { return problems.New(kind, size) }
+		if _, err := factory(); err != nil {
+			return nil, "", err
+		}
+		c, err := runtimes.Collect(context.Background(), factory, adaptive.Params{}, runs, seed, 0)
+		if err != nil {
+			return nil, "", err
+		}
+		return c.Iterations, c.Problem, nil
+	}
+	return nil, "", fmt.Errorf("specify -in <campaign.json> or -problem <family>")
+}
+
+func parseCores(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	cores := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad core count %q", p)
+		}
+		cores = append(cores, n)
+	}
+	return cores, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lvpredict:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command lvseq runs a sequential Adaptive Search campaign on one
+// benchmark problem and reports the paper's Table-1/2 statistics,
+// optionally persisting the runtime sample for lvpredict/lvpar.
+//
+// Usage:
+//
+//	lvseq -problem costas -size 12 -runs 200 -out costas12.json
+//	lvseq -problem magic-square -size 6 -runs 300 -csv ms6.csv
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"lasvegas/internal/adaptive"
+	"lasvegas/internal/csp"
+	"lasvegas/internal/problems"
+	"lasvegas/internal/runtimes"
+)
+
+func main() {
+	var (
+		problem = flag.String("problem", "costas", "problem family: all-interval | magic-square | costas | queens")
+		size    = flag.Int("size", 0, "instance size (0 = scaled default; magic-square size is the board side)")
+		runs    = flag.Int("runs", 200, "number of sequential runs")
+		seed    = flag.Uint64("seed", 1, "campaign seed (deterministic)")
+		workers = flag.Int("workers", 0, "parallel collection workers (0 = GOMAXPROCS)")
+		outJSON = flag.String("out", "", "write the campaign as JSON to this path")
+		outCSV  = flag.String("csv", "", "write per-run rows as CSV to this path")
+		maxIter = flag.Int64("maxiter", 0, "per-run iteration budget (0 = unbounded, the Las Vegas setting)")
+	)
+	flag.Parse()
+
+	kind := problems.Kind(*problem)
+	if *size == 0 {
+		*size = problems.DefaultSize(kind)
+	}
+	factory := func() (csp.Problem, error) { return problems.New(kind, *size) }
+	if _, err := factory(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("collecting %d sequential runs of %s-%d (seed %d)...\n", *runs, kind, *size, *seed)
+	c, err := runtimes.Collect(context.Background(), factory,
+		adaptive.Params{MaxIterations: *maxIter}, *runs, *seed, *workers)
+	if err != nil {
+		fatal(err)
+	}
+
+	it := c.IterationSummary()
+	ts := c.TimeSummary()
+	fmt.Printf("\n%-22s %12s %12s %12s %12s\n", "metric", "min", "mean", "median", "max")
+	fmt.Printf("%-22s %12.4g %12.4g %12.4g %12.4g\n", "iterations", it.Min, it.Mean, it.Median, it.Max)
+	fmt.Printf("%-22s %12.4g %12.4g %12.4g %12.4g\n", "seconds", ts.Min, ts.Mean, ts.Median, ts.Max)
+	fmt.Printf("\nmax/min iteration ratio: %.1f (the paper observes ratios in the thousands)\n", it.Max/it.Min)
+
+	if *outJSON != "" {
+		if err := c.SaveJSON(*outJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("campaign written to %s\n", *outJSON)
+	}
+	if *outCSV != "" {
+		f, err := os.Create(*outCSV)
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("per-run CSV written to %s\n", *outCSV)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lvseq:", err)
+	os.Exit(1)
+}

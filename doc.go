@@ -1,0 +1,25 @@
+// Package lasvegas reproduces "Prediction of Parallel Speed-ups for
+// Las Vegas Algorithms" (Truchet, Richoux, Codognet — ICPP 2013) as a
+// stdlib-only Go library.
+//
+// The paper's model: a Las Vegas algorithm has a random sequential
+// runtime Y; running n independent copies and keeping the first
+// finisher gives the parallel runtime Z(n) = min of n i.i.d. draws of
+// Y, so the expected speed-up G(n) = E[Y]/E[Z(n)] is computable from
+// the sequential runtime distribution alone.
+//
+// Layout (all implementation under internal/, entry points under
+// cmd/ and examples/):
+//
+//   - internal/core        — the speed-up predictor (the contribution)
+//   - internal/dist        — runtime distribution families + empirical
+//   - internal/orderstat   — min/k-th order statistics and moments
+//   - internal/ks, fit     — Kolmogorov–Smirnov testing and estimation
+//   - internal/adaptive    — the Adaptive Search Las Vegas solver
+//   - internal/problems    — ALL-INTERVAL, MAGIC-SQUARE, COSTAS, Queens
+//   - internal/multiwalk   — real and simulated multi-walk engines
+//   - internal/experiments — regenerates every paper table and figure
+//
+// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
+// results.
+package lasvegas

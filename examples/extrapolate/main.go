@@ -1,0 +1,86 @@
+// Extrapolate: the paper's §8 proposal made concrete — predict the
+// parallel speed-up of a Costas instance you never ran, by learning
+// the runtime-distribution family and its parameter trends on smaller
+// instances, then validate against a real campaign at the target size.
+//
+//	go run ./examples/extrapolate [-target 13]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"lasvegas/internal/adaptive"
+	"lasvegas/internal/csp"
+	"lasvegas/internal/extrapolate"
+	"lasvegas/internal/multiwalk"
+	"lasvegas/internal/problems"
+	"lasvegas/internal/runtimes"
+	"lasvegas/internal/stats"
+)
+
+func main() {
+	target := flag.Int("target", 13, "target Costas order to predict without fitting")
+	runs := flag.Int("runs", 250, "sequential runs per training size")
+	flag.Parse()
+
+	collect := func(size, n int) []float64 {
+		factory := func() (csp.Problem, error) { return problems.New(problems.Costas, size) }
+		c, err := runtimes.Collect(context.Background(), factory, adaptive.Params{}, n, uint64(size), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c.Iterations
+	}
+
+	trainSizes := []int{*target - 4, *target - 3, *target - 2}
+	fmt.Printf("== training campaigns: Costas %v (%d runs each) ==\n", trainSizes, *runs)
+	obs := make([]extrapolate.Observation, len(trainSizes))
+	for i, s := range trainSizes {
+		obs[i] = extrapolate.Observation{Size: s, Sample: collect(s, *runs)}
+		fmt.Printf("costas-%d: mean %.0f iterations\n", s, stats.Mean(obs[i].Sample))
+	}
+
+	model, err := extrapolate.Learn(obs, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstable family: %s (weakest KS p-value %.3f)\n", model.Family, model.MinPValue())
+	for _, sf := range model.Fits {
+		fmt.Printf("  size %d → %s\n", sf.Size, sf.Dist)
+	}
+
+	d, err := model.DistAt(*target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := model.PredictorAt(*target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nextrapolated costas-%d law: %s (mean %.0f)\n", *target, d, d.Mean())
+
+	// Validation: run the target size for real and compare.
+	fmt.Printf("\n== validation campaign: costas-%d ==\n", *target)
+	actual := collect(*target, *runs)
+	fmt.Printf("measured mean: %.0f iterations (extrapolated %.0f, ratio %.2f)\n",
+		stats.Mean(actual), d.Mean(), d.Mean()/stats.Mean(actual))
+
+	cores := []int{16, 64, 256}
+	sim, err := multiwalk.MeasureSimulated(actual, cores, 4000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-8s %22s %20s\n", "cores", "extrapolated speed-up", "measured speed-up")
+	for i, n := range cores {
+		g, err := pred.Speedup(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %22.1f %20.1f\n", n, g, sim[i].Speedup)
+	}
+	fmt.Println("\nno fitting was done at the target size — the prediction used only the")
+	fmt.Println("trend learned on smaller instances (the paper's §8 'from scratch' method).")
+}

@@ -1,0 +1,97 @@
+// Magic squares end to end: the paper's §6.2 lognormal case. A live
+// MAGIC-SQUARE campaign usually rejects the shifted exponential and
+// accepts a (shifted) lognormal, whose speed-up prediction needs the
+// numerical order-statistic integration — this example shows the
+// whole flow plus the ASCII prediction figure (paper Figure 11).
+//
+//	go run ./examples/magicsquare [-side 6] [-runs 150]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"lasvegas/internal/adaptive"
+	"lasvegas/internal/core"
+	"lasvegas/internal/csp"
+	"lasvegas/internal/fit"
+	"lasvegas/internal/ks"
+	"lasvegas/internal/multiwalk"
+	"lasvegas/internal/problems"
+	"lasvegas/internal/runtimes"
+	"lasvegas/internal/textplot"
+)
+
+func main() {
+	side := flag.Int("side", 6, "board side N (paper: 200)")
+	runs := flag.Int("runs", 150, "sequential campaign runs (paper: 662)")
+	flag.Parse()
+
+	factory := func() (csp.Problem, error) { return problems.New(problems.MagicSquare, *side) }
+	fmt.Printf("== sequential campaign: magic-square-%d (N²=%d vars), %d runs ==\n",
+		*side, *side**side, *runs)
+	campaign, err := runtimes.Collect(context.Background(), factory, adaptive.Params{}, *runs, 19, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := campaign.IterationSummary()
+	fmt.Printf("iterations: min %.0f  mean %.0f  median %.0f  max %.0f\n\n", sum.Min, sum.Mean, sum.Median, sum.Max)
+
+	// Paper §6.2 flow: test the shifted exponential first, report its
+	// verdict, then the lognormal.
+	se, err := fit.ShiftedExponential(campaign.Iterations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seKS, err := ks.OneSample(campaign.Iterations, se)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shifted exponential: %s  (KS p=%.4f%s)\n", se, seKS.PValue,
+		map[bool]string{true: " — REJECTED, as the paper found for MS", false: ""}[seKS.RejectAt(0.05)])
+
+	ln, err := fit.LogNormal(campaign.Iterations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lnKS, err := ks.OneSample(campaign.Iterations, ln)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lognormal:           %s  (KS p=%.4f)\n\n", ln, lnKS.PValue)
+
+	best, err := fit.Best(campaign.Iterations, 0.05,
+		fit.FamExponential, fit.FamShiftedExponential, fit.FamLogNormal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := core.NewPredictor(best.Dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cores := []int{16, 32, 64, 128, 256}
+	sim, err := multiwalk.MeasureSimulated(campaign.Iterations, cores, 4000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %12s %12s\n", "cores", "predicted", "simulated")
+	predSeries := textplot.Series{Name: "predicted"}
+	simSeries := textplot.Series{Name: "simulated multi-walk"}
+	for i, n := range cores {
+		g, err := pred.Speedup(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %12.2f %12.2f\n", n, g, sim[i].Speedup)
+		predSeries.X = append(predSeries.X, float64(n))
+		predSeries.Y = append(predSeries.Y, g)
+		simSeries.X = append(simSeries.X, float64(n))
+		simSeries.Y = append(simSeries.Y, sim[i].Speedup)
+	}
+	fmt.Printf("\nspeed-up limit: %.1f (paper's MS 200 fit gave ≈71.5)\n\n", pred.Limit())
+	fmt.Println(textplot.Chart("Predicted vs simulated speed-up (cf. paper Figure 11)",
+		[]textplot.Series{predSeries, simSeries}, 64, 16))
+}

@@ -1,0 +1,55 @@
+// Quickstart: predict multi-walk parallel speed-ups from a sample of
+// sequential runtimes — the paper's pipeline in thirty lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lasvegas/internal/core"
+	"lasvegas/internal/dist"
+	"lasvegas/internal/fit"
+	"lasvegas/internal/xrand"
+)
+
+func main() {
+	// Pretend these are measured sequential runtimes of your Las Vegas
+	// algorithm (here: drawn from a shifted exponential, the paper's
+	// ALL-INTERVAL shape — min runtime 1200 iterations, mean ~110k).
+	truth, err := dist.NewShiftedExponential(1200, 1.0/109000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sample := dist.SampleN(truth, xrand.New(42), 650)
+
+	// 1. Fit a runtime distribution (the paper's §6 estimators) and
+	//    check it with a Kolmogorov–Smirnov test.
+	best, err := fit.Best(sample, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted: %s (KS p-value %.3f)\n", best.Dist, best.KS.PValue)
+
+	// 2. Build the predictor: G(n) = E[Y] / E[Z(n)].
+	pred, err := core.NewPredictor(best.Dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Ask it anything.
+	fmt.Printf("\n%-8s %10s %12s\n", "cores", "speed-up", "efficiency")
+	for _, n := range core.StandardCores {
+		g, err := pred.Speedup(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, _ := pred.Efficiency(n)
+		fmt.Printf("%-8d %10.2f %11.0f%%\n", n, g, 100*e)
+	}
+	fmt.Printf("\nspeed-up limit as n→∞: %.1f\n", pred.Limit())
+	if n, err := pred.CoresForSpeedup(40); err == nil {
+		fmt.Printf("cores needed for a 40× speed-up: %d\n", n)
+	}
+}

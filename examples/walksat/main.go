@@ -1,0 +1,102 @@
+// WalkSAT: the paper's model applied to a SAT solver — the "further
+// research will consider … SAT solvers" direction of §8, and the SAT
+// portfolio parallelism of §1. WalkSAT's flip count on satisfiable
+// random 3-SAT is a Las Vegas runtime like any other: collect its
+// distribution, fit, predict the portfolio speed-up, and verify with
+// both the simulated and the real goroutine multi-walk engines.
+//
+//	go run ./examples/walksat [-vars 75] [-ratio 4.1] [-runs 300]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"lasvegas/internal/core"
+	"lasvegas/internal/fit"
+	"lasvegas/internal/multiwalk"
+	"lasvegas/internal/sat"
+	"lasvegas/internal/stats"
+	"lasvegas/internal/xrand"
+)
+
+func main() {
+	vars := flag.Int("vars", 150, "number of boolean variables")
+	ratio := flag.Float64("ratio", 4.2, "clause/variable ratio (4.26 ≈ phase transition)")
+	runs := flag.Int("runs", 300, "sequential WalkSAT runs")
+	flag.Parse()
+
+	clauses := int(float64(*vars) * *ratio)
+	f, _, err := sat.RandomPlantedKSAT(*vars, clauses, 3, xrand.New(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("random planted 3-SAT: %d vars, %d clauses (ratio %.2f)\n\n", *vars, clauses, *ratio)
+
+	// Sequential campaign: the flip-count distribution.
+	pool := make([]float64, *runs)
+	for i := range pool {
+		s, err := sat.NewSolver(f, sat.Params{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := s.Run(xrand.New(uint64(i)))
+		if !res.Solved {
+			log.Fatalf("run %d unsolved: %v", i, res.Err)
+		}
+		pool[i] = float64(res.Flips)
+	}
+	sum := stats.Summarize(pool)
+	fmt.Printf("flips: min %.0f  mean %.0f  median %.0f  max %.0f\n", sum.Min, sum.Mean, sum.Median, sum.Max)
+
+	// Parametric fit when a family passes KS; otherwise fall back to
+	// the nonparametric plug-in (small instances have too-discrete
+	// flip counts for a continuous family).
+	var pred *core.Predictor
+	if best, err := fit.Best(pool, 0.05, fit.FamExponential, fit.FamShiftedExponential, fit.FamLogNormal); err == nil {
+		fmt.Printf("fitted: %s (KS p=%.3f)\n\n", best.Dist, best.KS.PValue)
+		if pred, err = core.NewPredictor(best.Dist); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("no parametric family accepted (%v); using the empirical plug-in\n\n", err)
+		var perr error
+		if pred, perr = core.NewEmpirical(pool); perr != nil {
+			log.Fatal(perr)
+		}
+	}
+	cores := []int{2, 4, 8, 16, 64}
+	sim, err := multiwalk.MeasureSimulated(pool, cores, 4000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %12s %12s\n", "cores", "predicted", "simulated")
+	for i, n := range cores {
+		g, err := pred.Speedup(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %12.2f %12.2f\n", n, g, sim[i].Speedup)
+	}
+
+	// Real portfolio: goroutine walkers racing on the same formula.
+	runner := func(ctx context.Context, r *xrand.Rand) multiwalk.WalkResult {
+		s, err := sat.NewSolver(f, sat.Params{})
+		if err != nil {
+			return multiwalk.WalkResult{}
+		}
+		res := s.RunContext(ctx, r)
+		return multiwalk.WalkResult{Iterations: res.Flips, Solved: res.Solved}
+	}
+	fmt.Println("\n== real goroutine portfolio (8 walkers, 5 races) ==")
+	for race := 0; race < 5; race++ {
+		out, err := multiwalk.Run(context.Background(), runner, multiwalk.Options{Walkers: 8, Seed: uint64(500 + race)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("race %d: walker %d won after %d flips (sequential mean %.0f)\n",
+			race, out.Winner, out.Iterations, sum.Mean)
+	}
+}

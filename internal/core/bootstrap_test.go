@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"lasvegas/internal/dist"
+	"lasvegas/internal/fit"
+	"lasvegas/internal/xrand"
+)
+
+func expSample(t *testing.T, n int, seed uint64) []float64 {
+	t.Helper()
+	d, err := dist.NewShiftedExponential(100, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dist.SampleN(d, xrand.New(seed), n)
+}
+
+func TestBootstrapCIPlugIn(t *testing.T) {
+	sample := expSample(t, 650, 1)
+	cis, err := BootstrapCI(sample, []int{4, 16, 64}, PlugInFitter, 200, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cis) != 3 {
+		t.Fatalf("%d intervals", len(cis))
+	}
+	for _, ci := range cis {
+		if !(ci.Lo <= ci.Speedup && ci.Speedup <= ci.Hi) {
+			t.Errorf("cores=%d: point %v outside [%v, %v]", ci.Cores, ci.Speedup, ci.Lo, ci.Hi)
+		}
+		if ci.Lo <= 0 || ci.Hi <= ci.Lo {
+			t.Errorf("cores=%d: degenerate interval [%v, %v]", ci.Cores, ci.Lo, ci.Hi)
+		}
+	}
+	// Intervals widen (in absolute terms) with core count for this law.
+	if cis[2].Hi-cis[2].Lo < cis[0].Hi-cis[0].Lo {
+		t.Logf("note: CI width at 64 cores (%v) smaller than at 4 (%v)",
+			cis[2].Hi-cis[2].Lo, cis[0].Hi-cis[0].Lo)
+	}
+}
+
+func TestBootstrapCICoversTruth(t *testing.T) {
+	// The 95% interval from a 650-run campaign should usually cover
+	// the true speed-up; check a handful of independent campaigns.
+	truth, _ := dist.NewShiftedExponential(100, 1e-3)
+	truthPred, _ := NewPredictor(truth)
+	want, _ := truthPred.Speedup(16)
+	covered := 0
+	const campaigns = 10
+	for k := uint64(0); k < campaigns; k++ {
+		sample := expSample(t, 650, 100+k)
+		cis, err := BootstrapCI(sample, []int{16}, PlugInFitter, 150, 0.95, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cis[0].Lo <= want && want <= cis[0].Hi {
+			covered++
+		}
+	}
+	if covered < campaigns-3 {
+		t.Errorf("truth covered in only %d/%d campaigns", covered, campaigns)
+	}
+}
+
+func TestBootstrapCIParametricFitter(t *testing.T) {
+	sample := expSample(t, 400, 3)
+	fitter := func(s []float64) (dist.Dist, error) {
+		d, err := fit.ShiftedExponential(s)
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	cis, err := BootstrapCI(sample, []int{16, 256}, fitter, 120, 0.90, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ci := range cis {
+		if ci.Level != 0.90 || ci.Hi <= ci.Lo {
+			t.Errorf("bad interval %+v", ci)
+		}
+	}
+}
+
+func TestBootstrapCIValidation(t *testing.T) {
+	sample := expSample(t, 100, 5)
+	if _, err := BootstrapCI([]float64{1, 2}, []int{4}, nil, 100, 0.95, 1); err == nil {
+		t.Error("tiny sample accepted")
+	}
+	if _, err := BootstrapCI(sample, []int{4}, nil, 5, 0.95, 1); err == nil {
+		t.Error("5 resamples accepted")
+	}
+	if _, err := BootstrapCI(sample, []int{4}, nil, 100, 1.5, 1); err == nil {
+		t.Error("level 1.5 accepted")
+	}
+}
+
+func TestBootstrapCIFailingFitter(t *testing.T) {
+	sample := expSample(t, 100, 6)
+	boom := func([]float64) (dist.Dist, error) { return nil, errors.New("boom") }
+	if _, err := BootstrapCI(sample, []int{4}, boom, 50, 0.95, 1); err == nil {
+		t.Error("always-failing fitter accepted")
+	}
+	// A fitter failing half the time should error too.
+	i := 0
+	flaky := func(s []float64) (dist.Dist, error) {
+		i++
+		if i%3 != 0 {
+			return nil, errors.New("flaky")
+		}
+		return dist.NewEmpirical(s)
+	}
+	if _, err := BootstrapCI(sample, []int{4}, flaky, 60, 0.95, 1); err == nil {
+		t.Error("mostly-failing fitter accepted")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	sample := expSample(t, 200, 8)
+	a, err := BootstrapCI(sample, []int{8}, nil, 100, 0.95, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapCI(sample, []int{8}, nil, 100, 0.95, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Error("bootstrap not deterministic for equal seeds")
+	}
+}

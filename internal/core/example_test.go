@@ -1,0 +1,89 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"lasvegas/internal/core"
+	"lasvegas/internal/dist"
+)
+
+// The paper's ALL-INTERVAL 700 case: a shifted exponential runtime
+// distribution fitted from 720 sequential runs predicts the parallel
+// speed-up of the independent multi-walk scheme.
+func ExamplePredictor_Speedup() {
+	y, err := dist.NewShiftedExponential(1217, 9.15956e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.NewPredictor(y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []int{16, 64, 256} {
+		g, err := p.Speedup(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("G(%d) = %.2f\n", n, g)
+	}
+	// Output:
+	// G(16) = 13.73
+	// G(64) = 37.77
+	// G(256) = 67.17
+}
+
+// With a strictly positive minimal runtime the speed-up saturates:
+// the paper's §3.3 limit is 1 + 1/(x0·λ).
+func ExamplePredictor_Limit() {
+	y, err := dist.NewShiftedExponential(100, 1.0/1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.NewPredictor(y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("limit = %.0f\n", p.Limit())
+	fmt.Printf("tangent at origin = %.1f\n", p.TangentAtOrigin())
+	// Output:
+	// limit = 11
+	// tangent at origin = 1.1
+}
+
+// CoresForSpeedup answers the capacity-planning question directly.
+func ExamplePredictor_CoresForSpeedup() {
+	y, err := dist.NewShiftedExponential(1217, 9.15956e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.NewPredictor(y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := p.CoresForSpeedup(50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("a 50x speed-up needs %d cores\n", n)
+	// Output:
+	// a 50x speed-up needs 111 cores
+}
+
+// The plug-in predictor needs no distributional assumption: it uses
+// the exact expectation of the minimum of n draws from the empirical
+// distribution of the sample.
+func ExampleNewEmpirical() {
+	sample := []float64{100, 200, 400, 800, 1600, 3200}
+	p, err := core.NewEmpirical(sample)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := p.Speedup(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plug-in G(4) = %.2f\n", g)
+	// Output:
+	// plug-in G(4) = 4.69
+}

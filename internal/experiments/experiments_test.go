@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lasvegas/internal/problems"
+)
+
+func TestIDsCoverEveryTableAndFigure(t *testing.T) {
+	ids := IDs()
+	want := map[string]bool{}
+	for i := 1; i <= 5; i++ {
+		want["table"+strconv.Itoa(i)] = true
+	}
+	for i := 1; i <= 14; i++ {
+		if i == 0 {
+			continue
+		}
+	}
+	for _, i := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14} {
+		want["fig"+strconv.Itoa(i)] = true
+	}
+	// Extension experiments ship alongside the paper's artifacts.
+	want["ttt"] = true
+	want["bootstrap"] = true
+	got := map[string]bool{}
+	for _, id := range ids {
+		got[id] = true
+	}
+	for id := range want {
+		if !got[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("have %d experiments, want %d", len(ids), len(want))
+	}
+	// Paper order: tables first, figures next, extensions last.
+	if ids[0] != "table1" || ids[5] != "fig1" {
+		t.Errorf("ordering wrong: %v", ids[:6])
+	}
+	if ids[len(ids)-2] != "bootstrap" || ids[len(ids)-1] != "ttt" {
+		t.Errorf("extensions not last: %v", ids[len(ids)-2:])
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	l := NewLab(Config{Paper: true})
+	if _, err := l.Run(context.Background(), "table99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// TestPaperModeRegeneratesEverything replays the published evaluation
+// end to end — every table and every figure — from embedded data and
+// the prediction pipeline. This is the cheapest full-coverage pass.
+func TestPaperModeRegeneratesEverything(t *testing.T) {
+	l := NewLab(Config{Paper: true, SimReps: 500})
+	arts, err := l.RunAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != len(IDs()) {
+		t.Fatalf("regenerated %d artifacts, want %d", len(arts), len(IDs()))
+	}
+	for _, a := range arts {
+		out := a.Render()
+		if !strings.Contains(out, a.ID) {
+			t.Errorf("%s: render missing id", a.ID)
+		}
+		if len(a.Headers) == 0 && a.Figure == "" {
+			t.Errorf("%s: artifact has neither table nor figure", a.ID)
+		}
+	}
+}
+
+func TestPaperTable5ContainsPublishedPrediction(t *testing.T) {
+	l := NewLab(Config{Paper: true})
+	a, err := l.Run(context.Background(), "table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Render()
+	// The recomputed predicted rows must show the paper's numbers.
+	for _, token := range []string{"15.94", "22.04", "28.28", "34.26", "13.7", "23.8", "256"} {
+		if !strings.Contains(out, token) {
+			t.Errorf("table5 missing %q:\n%s", token, out)
+		}
+	}
+}
+
+func TestPaperTable2ShowsPublishedIterations(t *testing.T) {
+	l := NewLab(Config{Paper: true})
+	a, err := l.Run(context.Background(), "table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Render()
+	for _, token := range []string{"443969", "110393", "Costas 21"} {
+		if !strings.Contains(out, token) {
+			t.Errorf("table2 missing %q", token)
+		}
+	}
+}
+
+func TestFigureCSVWellFormed(t *testing.T) {
+	l := NewLab(Config{Paper: true, SimReps: 300})
+	for _, id := range []string{"fig3", "fig6", "fig14"} {
+		a, err := l.Run(context.Background(), id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.HasPrefix(a.CSV, "series,x,y\n") {
+			t.Errorf("%s: CSV header missing", id)
+		}
+		if strings.Count(a.CSV, "\n") < 3 {
+			t.Errorf("%s: CSV nearly empty", id)
+		}
+	}
+}
+
+// TestLiveModeEndToEnd exercises the real pipeline: campaigns on tiny
+// instances, fitting, prediction, simulated measurement — the whole
+// §5–§7 flow in miniature.
+func TestLiveModeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live campaigns too slow for -short")
+	}
+	l := NewLab(Config{
+		Runs:    60,
+		SimReps: 400,
+		Cores:   []int{4, 16},
+		Seed:    7,
+		Sizes: map[problems.Kind]int{
+			problems.AllInterval: 14,
+			problems.MagicSquare: 5,
+			problems.Costas:      9,
+		},
+	})
+	ctx := context.Background()
+	for _, id := range []string{"table1", "table2", "table4", "table5", "fig8", "fig9", "fig14", "ttt", "bootstrap"} {
+		a, err := l.Run(ctx, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if out := a.Render(); len(out) < 40 {
+			t.Errorf("%s: suspiciously short output", id)
+		}
+	}
+	// Campaigns must have been cached: three benchmarks only.
+	if len(l.campaigns) != 3 {
+		t.Errorf("expected 3 cached campaigns, got %d", len(l.campaigns))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Runs <= 0 || cfg.SimReps <= 0 || len(cfg.Cores) == 0 || cfg.Seed == 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	for _, kind := range paperKinds {
+		if cfg.Sizes[kind] <= 0 {
+			t.Errorf("no default size for %s", kind)
+		}
+	}
+}
+
+func TestLabelPaperVsLive(t *testing.T) {
+	lp := NewLab(Config{Paper: true})
+	if lp.label(problems.AllInterval) != "AI 700" {
+		t.Errorf("paper label %q", lp.label(problems.AllInterval))
+	}
+	ll := NewLab(Config{Sizes: map[problems.Kind]int{problems.AllInterval: 14}})
+	if ll.label(problems.AllInterval) != "AI 14" {
+		t.Errorf("live label %q", ll.label(problems.AllInterval))
+	}
+}

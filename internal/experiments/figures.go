@@ -1,0 +1,452 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"lasvegas/internal/core"
+	"lasvegas/internal/dist"
+	"lasvegas/internal/multiwalk"
+	"lasvegas/internal/orderstat"
+	"lasvegas/internal/paperdata"
+	"lasvegas/internal/problems"
+	"lasvegas/internal/stats"
+	"lasvegas/internal/textplot"
+	"lasvegas/internal/xrand"
+)
+
+const (
+	chartW = 72
+	chartH = 20
+)
+
+// densitySeries samples the PDFs of Y and of Z(n) for each n on a
+// uniform grid, the shape of the paper's Figures 1, 2 and 4.
+func densitySeries(d dist.Dist, ns []int, lo, hi float64, points int) ([]textplot.Series, error) {
+	xs := make([]float64, points)
+	for i := range xs {
+		xs[i] = lo + (hi-lo)*float64(i)/float64(points-1)
+	}
+	series := make([]textplot.Series, 0, len(ns)+1)
+	base := textplot.Series{Name: fmt.Sprintf("Y = %s", d)}
+	base.X = xs
+	base.Y = make([]float64, points)
+	for i, x := range xs {
+		base.Y[i] = d.PDF(x)
+	}
+	series = append(series, base)
+	for _, n := range ns {
+		m, err := orderstat.NewMin(d, n)
+		if err != nil {
+			return nil, err
+		}
+		s := textplot.Series{Name: fmt.Sprintf("Z(%d)", n), X: xs, Y: make([]float64, points)}
+		for i, x := range xs {
+			s.Y[i] = m.PDF(x)
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+func densityFigure(title, desc string, d dist.Dist, ns []int, lo, hi float64) (*Artifact, error) {
+	series, err := densitySeries(d, ns, lo, hi, 120)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{
+		Title:       title,
+		Description: desc,
+		Figure:      textplot.Chart(title, series, chartW, chartH),
+		CSV:         textplot.CSV(series),
+	}, nil
+}
+
+// fig1: min-distributions of a gaussian cut on R⁻ and renormalized,
+// n ∈ {10, 100, 1000}.
+func fig1(l *Lab, ctx context.Context) (*Artifact, error) {
+	d, err := dist.NewTruncatedNormal(30, 10, 0)
+	if err != nil {
+		return nil, err
+	}
+	return densityFigure(
+		"Distribution of Z(n) for a gaussian Y (cut on R-, renormalized)",
+		"Paper Figure 1: Y in the flattest curve; Z(10), Z(100), Z(1000) move toward the origin and sharpen.",
+		d, []int{10, 100, 1000}, 0, 60)
+}
+
+// fig2: min-distributions of the shifted exponential x0=100,
+// λ=1/1000, n ∈ {2, 4, 8}.
+func fig2(l *Lab, ctx context.Context) (*Artifact, error) {
+	d, err := dist.NewShiftedExponential(100, 1.0/1000)
+	if err != nil {
+		return nil, err
+	}
+	return densityFigure(
+		"Distribution of Z(n) for a shifted exponential (x0=100, λ=1/1000)",
+		"Paper Figure 2: the closed form f_Z(n) = nλe^{-nλ(t-x0)} — initial value ×n, decay ×n faster.",
+		d, []int{2, 4, 8}, 0, 1000)
+}
+
+// predictionCurveSeries evaluates the predicted speed-up on an
+// integer grid of ~points core counts between 1 and maxCores.
+func predictionCurveSeries(p *core.Predictor, maxCores, points int, name string) (textplot.Series, error) {
+	if points < 2 {
+		points = 32
+	}
+	s := textplot.Series{Name: name}
+	seen := map[int]bool{}
+	for i := 0; i < points; i++ {
+		n := 1 + int(float64(maxCores-1)*float64(i)/float64(points-1))
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		g, err := p.Speedup(n)
+		if err != nil {
+			return s, err
+		}
+		s.X = append(s.X, float64(n))
+		s.Y = append(s.Y, g)
+	}
+	return s, nil
+}
+
+func speedupFigure(title, desc string, d dist.Dist, maxCores int, withIdeal, withLimit bool) (*Artifact, error) {
+	p, err := core.NewPredictor(d)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := predictionCurveSeries(p, maxCores, 40, "predicted")
+	if err != nil {
+		return nil, err
+	}
+	series := []textplot.Series{pred}
+	if withLimit {
+		if lim := p.Limit(); !math.IsInf(lim, 1) {
+			series = append(series, textplot.Series{
+				Name: fmt.Sprintf("limit %.4g", lim),
+				X:    []float64{1, float64(maxCores)},
+				Y:    []float64{lim, lim},
+			})
+		}
+	}
+	if withIdeal {
+		series = append(series, idealSeries(maxCores))
+	}
+	return &Artifact{
+		Title:       title,
+		Description: desc,
+		Figure:      textplot.Chart(title, series, chartW, chartH),
+		CSV:         textplot.CSV(series),
+	}, nil
+}
+
+func idealSeries(maxCores int) textplot.Series {
+	s := textplot.Series{Name: "ideal (linear)"}
+	for _, n := range []int{1, maxCores / 4, maxCores / 2, 3 * maxCores / 4, maxCores} {
+		if n < 1 {
+			continue
+		}
+		s.X = append(s.X, float64(n))
+		s.Y = append(s.Y, float64(n))
+	}
+	return s
+}
+
+// fig3: predicted speed-up of the Figure-2 exponential.
+func fig3(l *Lab, ctx context.Context) (*Artifact, error) {
+	d, err := dist.NewShiftedExponential(100, 1.0/1000)
+	if err != nil {
+		return nil, err
+	}
+	return speedupFigure(
+		"Predicted speed-up, exponential x0=100, λ=1/1000",
+		"Paper Figure 3: G(n) = (x0+1/λ)/(x0+1/(nλ)), limit 1+1/(x0·λ) = 11.",
+		d, 256, false, true)
+}
+
+// fig4: min-distributions of the lognormal μ=5, σ=1.
+func fig4(l *Lab, ctx context.Context) (*Artifact, error) {
+	d, err := dist.NewLogNormal(0, 5, 1)
+	if err != nil {
+		return nil, err
+	}
+	return densityFigure(
+		"Distribution of Z(n) for a lognormal (x0=0, μ=5, σ=1)",
+		"Paper Figure 4: minima of n ∈ {2,4,8} draws.",
+		d, []int{2, 4, 8}, 0, 250)
+}
+
+// fig5: predicted speed-up of the Figure-4 lognormal, computed by
+// numerical integration of the first order-statistic moment.
+func fig5(l *Lab, ctx context.Context) (*Artifact, error) {
+	d, err := dist.NewLogNormal(0, 5, 1)
+	if err != nil {
+		return nil, err
+	}
+	return speedupFigure(
+		"Predicted speed-up, lognormal μ=5, σ=1",
+		"Paper Figure 5: moments via quantile-domain quadrature (Nadarajah 2008).",
+		d, 256, false, false)
+}
+
+// measuredSeries renders measured speed-ups for a benchmark.
+func (l *Lab) measuredSeries(ctx context.Context, kind problems.Kind, cores []int) (textplot.Series, error) {
+	name := l.label(kind)
+	if l.cfg.Paper {
+		for _, row := range paperdata.Table4IterSpeedups {
+			if lbl, _ := paperdata.PaperLabel(kind); lbl == row.Problem {
+				s := textplot.Series{Name: row.Problem}
+				for i, k := range paperdata.Cores {
+					s.X = append(s.X, float64(k))
+					s.Y = append(s.Y, row.Speedups[i])
+				}
+				return s, nil
+			}
+		}
+		return textplot.Series{}, fmt.Errorf("experiments: no paper speed-ups for %s", kind)
+	}
+	pts, err := l.measuredSpeedups(ctx, kind, cores, true)
+	if err != nil {
+		return textplot.Series{}, err
+	}
+	s := textplot.Series{Name: name}
+	for _, p := range pts {
+		s.X = append(s.X, float64(p.Cores))
+		s.Y = append(s.Y, p.Speedup)
+	}
+	return s, nil
+}
+
+// fig6: measured speed-ups of the CSPLib benchmarks vs ideal.
+func fig6(l *Lab, ctx context.Context) (*Artifact, error) {
+	ms, err := l.measuredSeries(ctx, problems.MagicSquare, l.cfg.Cores)
+	if err != nil {
+		return nil, err
+	}
+	ai, err := l.measuredSeries(ctx, problems.AllInterval, l.cfg.Cores)
+	if err != nil {
+		return nil, err
+	}
+	maxC := l.cfg.Cores[len(l.cfg.Cores)-1]
+	series := []textplot.Series{idealSeries(maxC), ms, ai}
+	title := "Speed-ups for CSPLib benchmarks"
+	return &Artifact{
+		Title:       title,
+		Description: "Paper Figure 6: MAGIC-SQUARE and ALL-INTERVAL diverge from the ideal line.",
+		Figure:      textplot.Chart(title, series, chartW, chartH),
+		CSV:         textplot.CSV(series),
+	}, nil
+}
+
+// fig7: measured speed-up of COSTAS vs ideal (near-linear).
+func fig7(l *Lab, ctx context.Context) (*Artifact, error) {
+	cs, err := l.measuredSeries(ctx, problems.Costas, l.cfg.Cores)
+	if err != nil {
+		return nil, err
+	}
+	maxC := l.cfg.Cores[len(l.cfg.Cores)-1]
+	series := []textplot.Series{idealSeries(maxC), cs}
+	title := "Speed-ups for the COSTAS ARRAY problem"
+	return &Artifact{
+		Title:       title,
+		Description: "Paper Figure 7: Costas tracks the ideal line (linear or supra-linear).",
+		Figure:      textplot.Chart(title, series, chartW, chartH),
+		CSV:         textplot.CSV(series),
+	}, nil
+}
+
+// campaignOrSynthetic returns the iteration sample and fitted law for
+// a benchmark: the live campaign + live fit, or (paper mode) a
+// seeded synthetic sample drawn from the paper's fitted distribution
+// with the paper's sample size.
+func (l *Lab) campaignOrSynthetic(ctx context.Context, kind problems.Kind, paperRuns int) ([]float64, dist.Dist, string, error) {
+	if l.cfg.Paper {
+		d, ok := paperdata.Fitted(kind)
+		if !ok {
+			return nil, nil, "", fmt.Errorf("experiments: no paper fit for %s", kind)
+		}
+		sample := dist.SampleN(d, xrand.New(l.cfg.Seed^hashKind(kind)), paperRuns)
+		return sample, d, fmt.Sprintf("synthetic sample of %d draws from the paper's fit %s", paperRuns, d), nil
+	}
+	c, err := l.Campaign(ctx, kind)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	best, err := l.BestFit(ctx, kind)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	desc := fmt.Sprintf("live campaign (%d runs), best fit %s (KS p=%.3f)", len(c.Iterations), best.Dist, best.KS.PValue)
+	return c.Iterations, best.Dist, desc, nil
+}
+
+func histogramFigure(l *Lab, ctx context.Context, kind problems.Kind, paperRuns int, figTitle, paperRef string) (*Artifact, error) {
+	sample, d, desc, err := l.campaignOrSynthetic(ctx, kind, paperRuns)
+	if err != nil {
+		return nil, err
+	}
+	bins := stats.FreedmanDiaconisBins(sample)
+	if bins > 40 {
+		bins = 40
+	}
+	h, err := stats.NewHistogram(sample, bins)
+	if err != nil {
+		return nil, err
+	}
+	centers := make([]float64, len(h.Counts))
+	densities := make([]float64, len(h.Counts))
+	for i := range h.Counts {
+		centers[i] = h.Center(i)
+		densities[i] = h.Density(i)
+	}
+	series := []textplot.Series{
+		{Name: "observed density", X: centers, Y: densities},
+		{Name: "fitted " + d.String(), X: centers, Y: evalPDF(d, centers)},
+	}
+	return &Artifact{
+		Title:       figTitle,
+		Description: paperRef + "\n" + desc,
+		Figure:      textplot.HistogramWithOverlay(figTitle, centers, densities, d.PDF, 60),
+		CSV:         textplot.CSV(series),
+	}, nil
+}
+
+func evalPDF(d dist.Dist, xs []float64) []float64 {
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = d.PDF(x)
+	}
+	return ys
+}
+
+// fig8: AI histogram with fitted shifted exponential.
+func fig8(l *Lab, ctx context.Context) (*Artifact, error) {
+	return histogramFigure(l, ctx, problems.AllInterval, paperdata.RunsAI,
+		"Observed iterations and fitted law — ALL-INTERVAL",
+		"Paper Figure 8: 720 runs of AI 700 against the shifted exponential (KS p = 0.774).")
+}
+
+// fig10: MS histogram with fitted shifted lognormal.
+func fig10(l *Lab, ctx context.Context) (*Artifact, error) {
+	return histogramFigure(l, ctx, problems.MagicSquare, paperdata.RunsMS,
+		"Observed iterations and fitted law — MAGIC-SQUARE",
+		"Paper Figure 10: 662 runs of MS 200 against the shifted lognormal (μ=12.0275, σ=1.3398).")
+}
+
+// fig12: Costas histogram with fitted exponential.
+func fig12(l *Lab, ctx context.Context) (*Artifact, error) {
+	return histogramFigure(l, ctx, problems.Costas, paperdata.RunsCostas,
+		"Observed iterations and fitted law — COSTAS ARRAY",
+		"Paper Figure 12: 638 runs of Costas 21 against the exponential (KS p = 0.752).")
+}
+
+func predictionFigure(l *Lab, ctx context.Context, kind problems.Kind, figTitle, paperRef string, withLimit bool) (*Artifact, error) {
+	var d dist.Dist
+	var desc string
+	if l.cfg.Paper {
+		pd, ok := paperdata.Fitted(kind)
+		if !ok {
+			return nil, fmt.Errorf("experiments: no paper fit for %s", kind)
+		}
+		d, desc = pd, "predicted from the paper's fitted parameters"
+	} else {
+		best, err := l.BestFit(ctx, kind)
+		if err != nil {
+			return nil, err
+		}
+		d, desc = best.Dist, fmt.Sprintf("predicted from the live fit %s", best.Dist)
+	}
+	maxC := l.cfg.Cores[len(l.cfg.Cores)-1]
+	a, err := speedupFigure(figTitle, paperRef+"\n"+desc, d, maxC, true, withLimit)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// fig9: predicted AI speed-up with its finite limit and the ideal.
+func fig9(l *Lab, ctx context.Context) (*Artifact, error) {
+	return predictionFigure(l, ctx, problems.AllInterval,
+		"Predicted speed-up — ALL-INTERVAL",
+		"Paper Figure 9: shifted exponential ⇒ finite limit (90.71 for the paper's fit).", true)
+}
+
+// fig11: predicted MS speed-up (numerical integration).
+func fig11(l *Lab, ctx context.Context) (*Artifact, error) {
+	return predictionFigure(l, ctx, problems.MagicSquare,
+		"Predicted speed-up — MAGIC-SQUARE",
+		"Paper Figure 11: shifted lognormal, moments by numerical integration.", true)
+}
+
+// fig13: predicted Costas speed-up (linear).
+func fig13(l *Lab, ctx context.Context) (*Artifact, error) {
+	return predictionFigure(l, ctx, problems.Costas,
+		"Predicted speed-up — COSTAS ARRAY",
+		"Paper Figure 13: x0 ≈ 0 ⇒ strictly linear prediction G(n) = n.", false)
+}
+
+// fig14: Costas speed-ups up to 8192 cores (simulated multi-walk vs
+// the linear prediction).
+func fig14(l *Lab, ctx context.Context) (*Artifact, error) {
+	cores := paperdata.Figure14Cores
+	var pool []float64
+	var desc string
+	if l.cfg.Paper {
+		d := paperdata.FittedCostas21()
+		pool = dist.SampleN(d, xrand.New(l.cfg.Seed^0xF14), 4000)
+		desc = "pool: 4000 draws from the paper's fitted exponential (JUGENE experiment reported in [16])"
+	} else {
+		c, err := l.Campaign(ctx, problems.Costas)
+		if err != nil {
+			return nil, err
+		}
+		pool = c.Iterations
+		desc = fmt.Sprintf("pool: live campaign (%d runs)", len(pool))
+	}
+	pts, err := multiwalk.MeasureSimulated(pool, cores, l.cfg.SimReps, l.cfg.Seed^0x8192)
+	if err != nil {
+		return nil, err
+	}
+	measured := textplot.Series{Name: "Costas (simulated multi-walk)"}
+	for _, p := range pts {
+		measured.X = append(measured.X, float64(p.Cores))
+		measured.Y = append(measured.Y, p.Speedup)
+	}
+	series := []textplot.Series{idealSeries(cores[len(cores)-1]), measured}
+	title := "Speed-ups for Costas up to 8192 cores"
+	return &Artifact{
+		Title:       title,
+		Description: "Paper Figure 14: linearity persists far beyond 256 cores.\n" + desc,
+		Figure:      textplot.Chart(title, series, chartW, chartH),
+		CSV:         textplot.CSV(series),
+	}, nil
+}
+
+// registry maps experiment ids to generators.
+var registry = map[string]generator{
+	"table1": {"Sequential execution times", table1},
+	"table2": {"Sequential number of iterations", table2},
+	"table3": {"Speed-ups w.r.t. sequential time", table3},
+	"table4": {"Speed-ups w.r.t. sequential iterations", table4},
+	"table5": {"Experimental vs predicted speed-ups", table5},
+	"fig1":   {"Min-distribution, gaussian", fig1},
+	"fig2":   {"Min-distribution, shifted exponential", fig2},
+	"fig3":   {"Predicted speed-up, exponential", fig3},
+	"fig4":   {"Min-distribution, lognormal", fig4},
+	"fig5":   {"Predicted speed-up, lognormal", fig5},
+	"fig6":   {"Measured speed-ups, CSPLib", fig6},
+	"fig7":   {"Measured speed-ups, Costas", fig7},
+	"fig8":   {"AI histogram + fit", fig8},
+	"fig9":   {"AI predicted speed-up", fig9},
+	"fig10":  {"MS histogram + fit", fig10},
+	"fig11":  {"MS predicted speed-up", fig11},
+	"fig12":  {"Costas histogram + fit", fig12},
+	"fig13":  {"Costas predicted speed-up", fig13},
+	"fig14":  {"Costas speed-ups to 8192 cores", fig14},
+	// Extensions beyond the paper's artifact list (see extensions.go).
+	"ttt":       {"Time-to-target plots", ttt},
+	"bootstrap": {"Bootstrap CI on predictions", bootstrapCI},
+}

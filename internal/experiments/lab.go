@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"lasvegas/internal/adaptive"
+	"lasvegas/internal/csp"
+	"lasvegas/internal/fit"
+	"lasvegas/internal/paperdata"
+	"lasvegas/internal/problems"
+	"lasvegas/internal/runtimes"
+)
+
+// Config tunes the experiment harness. Zero values fall back to the
+// defaults documented on each field.
+type Config struct {
+	// Paper switches to replaying the published evaluation numbers
+	// instead of running live campaigns.
+	Paper bool
+	// Runs is the number of sequential runs per live campaign
+	// (default 200; the paper used ~650).
+	Runs int
+	// SimReps is the number of resampled multi-walk repetitions per
+	// core count (default 3000).
+	SimReps int
+	// Cores is the measured core grid (default the paper's
+	// {16,32,64,128,256}).
+	Cores []int
+	// Seed makes the whole harness deterministic (default 1).
+	Seed uint64
+	// Workers bounds campaign parallelism (default GOMAXPROCS).
+	Workers int
+	// Sizes overrides the per-problem instance sizes (defaults from
+	// problems.DefaultSize; the paper's sizes via problems.PaperSize
+	// make live campaigns take hours, exactly as in the paper).
+	Sizes map[problems.Kind]int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runs <= 0 {
+		c.Runs = 200
+	}
+	if c.SimReps <= 0 {
+		c.SimReps = 3000
+	}
+	if len(c.Cores) == 0 {
+		c.Cores = append([]int(nil), paperdata.Cores...)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Sizes == nil {
+		c.Sizes = map[problems.Kind]int{}
+	}
+	for _, kind := range paperKinds {
+		if c.Sizes[kind] <= 0 {
+			c.Sizes[kind] = problems.DefaultSize(kind)
+		}
+	}
+	return c
+}
+
+// paperKinds are the three benchmarks of the evaluation, in the
+// paper's table order.
+var paperKinds = []problems.Kind{problems.MagicSquare, problems.AllInterval, problems.Costas}
+
+// Lab caches live campaigns and fits across experiments so that
+// "run everything" collects each benchmark's runtimes exactly once.
+type Lab struct {
+	cfg       Config
+	campaigns map[problems.Kind]*runtimes.Campaign
+	fits      map[problems.Kind]fit.Result
+}
+
+// NewLab returns a Lab with the given configuration.
+func NewLab(cfg Config) *Lab {
+	return &Lab{
+		cfg:       cfg.withDefaults(),
+		campaigns: map[problems.Kind]*runtimes.Campaign{},
+		fits:      map[problems.Kind]fit.Result{},
+	}
+}
+
+// Config returns the effective configuration.
+func (l *Lab) Config() Config { return l.cfg }
+
+// label returns the display name of a benchmark in the current mode.
+func (l *Lab) label(kind problems.Kind) string {
+	if l.cfg.Paper {
+		if s, ok := paperdata.PaperLabel(kind); ok {
+			return s
+		}
+	}
+	return fmt.Sprintf("%s %d", shortName(kind), l.cfg.Sizes[kind])
+}
+
+func shortName(kind problems.Kind) string {
+	switch kind {
+	case problems.AllInterval:
+		return "AI"
+	case problems.MagicSquare:
+		return "MS"
+	case problems.Costas:
+		return "Costas"
+	case problems.Queens:
+		return "Queens"
+	}
+	return string(kind)
+}
+
+// Campaign returns the (cached) live sequential campaign for kind.
+func (l *Lab) Campaign(ctx context.Context, kind problems.Kind) (*runtimes.Campaign, error) {
+	if c, ok := l.campaigns[kind]; ok {
+		return c, nil
+	}
+	size := l.cfg.Sizes[kind]
+	factory := func() (csp.Problem, error) { return problems.New(kind, size) }
+	c, err := runtimes.Collect(ctx, factory, adaptive.Params{}, l.cfg.Runs, l.cfg.Seed^hashKind(kind), l.cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: campaign %s-%d: %w", kind, size, err)
+	}
+	l.campaigns[kind] = c
+	return c, nil
+}
+
+// BestFit runs the paper's §6 model-selection loop on the live
+// campaign of kind: candidate families exponential, shifted
+// exponential and lognormal, ranked by KS p-value.
+func (l *Lab) BestFit(ctx context.Context, kind problems.Kind) (fit.Result, error) {
+	if r, ok := l.fits[kind]; ok {
+		return r, nil
+	}
+	c, err := l.Campaign(ctx, kind)
+	if err != nil {
+		return fit.Result{}, err
+	}
+	results, err := fit.Auto(c.Iterations,
+		fit.FamExponential, fit.FamShiftedExponential, fit.FamLogNormal)
+	if err != nil {
+		return fit.Result{}, err
+	}
+	best := results[0]
+	if best.Err != nil {
+		return fit.Result{}, fmt.Errorf("experiments: no family fitted %s: %w", kind, best.Err)
+	}
+	l.fits[kind] = best
+	return best, nil
+}
+
+// hashKind gives each benchmark an independent seed offset.
+func hashKind(kind problems.Kind) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, b := range []byte(kind) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
+
+// generator builds one artifact.
+type generator struct {
+	title string
+	run   func(*Lab, context.Context) (*Artifact, error)
+}
+
+// Run regenerates the experiment with the paper identifier id.
+func (l *Lab) Run(ctx context.Context, id string) (*Artifact, error) {
+	g, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	a, err := g.run(l, ctx)
+	if err != nil {
+		return nil, err
+	}
+	a.ID = id
+	if a.Title == "" {
+		a.Title = g.title
+	}
+	return a, nil
+}
+
+// RunAll regenerates every table and figure in paper order.
+func (l *Lab) RunAll(ctx context.Context) ([]*Artifact, error) {
+	out := make([]*Artifact, 0, len(registry))
+	for _, id := range IDs() {
+		a, err := l.Run(ctx, id)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// IDs lists the known experiment identifiers in paper order, with
+// extension experiments (ttt, bootstrap, ...) after the paper's own.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ki, kj := orderKey(ids[i]), orderKey(ids[j])
+		if ki != kj {
+			return ki < kj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// orderKey sorts table1..5 before fig1..fig14, numerically, with
+// anything else (extensions) last.
+func orderKey(id string) int {
+	var n int
+	switch {
+	case strings.HasPrefix(id, "table"):
+		fmt.Sscanf(id, "table%d", &n)
+		return n
+	case strings.HasPrefix(id, "fig"):
+		fmt.Sscanf(id, "fig%d", &n)
+		return 100 + n
+	}
+	return 1000
+}

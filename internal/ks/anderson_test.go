@@ -1,0 +1,105 @@
+package ks
+
+import (
+	"math"
+	"testing"
+
+	"lasvegas/internal/dist"
+	"lasvegas/internal/xrand"
+)
+
+func TestAndersonDarlingAcceptsTrueDistribution(t *testing.T) {
+	d, _ := dist.NewShiftedExponential(50, 0.01)
+	r := xrand.New(77)
+	sample := dist.SampleN(d, r, 650)
+	res, err := AndersonDarling(sample, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectAt(0.05) {
+		t.Errorf("true law rejected: A²=%v p=%v", res.D, res.PValue)
+	}
+}
+
+func TestAndersonDarlingRejectsWrongDistribution(t *testing.T) {
+	ln, _ := dist.NewLogNormal(0, 5, 1.5)
+	r := xrand.New(78)
+	sample := dist.SampleN(ln, r, 650)
+	var mean float64
+	for _, x := range sample {
+		mean += x
+	}
+	mean /= float64(len(sample))
+	exp, _ := dist.NewExponential(1 / mean)
+	res, err := AndersonDarling(sample, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RejectAt(0.05) {
+		t.Errorf("wrong law accepted: A²=%v p=%v", res.D, res.PValue)
+	}
+}
+
+func TestAndersonDarlingTailSensitivity(t *testing.T) {
+	// A distribution identical in the bulk but wrong in the left tail:
+	// AD should flag it at a sample size where it matters. Use a
+	// left-truncated exponential tested against the untruncated one.
+	truth, _ := dist.NewShiftedExponential(200, 1e-3) // no mass below 200
+	model, _ := dist.NewExponential(1.0 / 1200)       // same mean, mass at 0
+	r := xrand.New(79)
+	sample := dist.SampleN(truth, r, 800)
+	res, err := AndersonDarling(sample, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RejectAt(0.05) {
+		t.Errorf("tail-miss accepted: A²=%v p=%v", res.D, res.PValue)
+	}
+}
+
+func TestAndersonDarlingKnownCriticalValues(t *testing.T) {
+	// Case-0 critical values: A² = 2.492 ⇔ p ≈ 0.05, A² = 3.857 ⇔ 0.01.
+	if p := adPValue(2.492); math.Abs(p-0.05) > 0.005 {
+		t.Errorf("p(2.492) = %v, want ≈0.05", p)
+	}
+	if p := adPValue(3.857); math.Abs(p-0.01) > 0.003 {
+		t.Errorf("p(3.857) = %v, want ≈0.01", p)
+	}
+	if p := adPValue(0); p != 1 {
+		t.Errorf("p(0) = %v", p)
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for a := 0.1; a < 8; a += 0.1 {
+		p := adPValue(a)
+		if p > prev+1e-9 {
+			t.Fatalf("p-value not decreasing at A²=%v", a)
+		}
+		prev = p
+	}
+}
+
+func TestAndersonDarlingEmpty(t *testing.T) {
+	d, _ := dist.NewExponential(1)
+	if _, err := AndersonDarling(nil, d); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestAndersonDarlingAgreesWithKSOnVerdicts(t *testing.T) {
+	// On clear-cut cases both tests agree; sweep a few laws.
+	r := xrand.New(80)
+	truth, _ := dist.NewWeibull(1.5, 100)
+	sample := dist.SampleN(truth, r, 500)
+	ksRes, err := OneSample(sample, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adRes, err := AndersonDarling(sample, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ksRes.RejectAt(0.01) || adRes.RejectAt(0.01) {
+		t.Errorf("true law rejected by KS (p=%v) or AD (p=%v)", ksRes.PValue, adRes.PValue)
+	}
+}

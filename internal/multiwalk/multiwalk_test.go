@@ -1,0 +1,265 @@
+package multiwalk
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"lasvegas/internal/adaptive"
+	"lasvegas/internal/csp"
+	"lasvegas/internal/problems"
+	"lasvegas/internal/stats"
+	"lasvegas/internal/xrand"
+)
+
+func queensRunner(t *testing.T, size int) Runner {
+	t.Helper()
+	factory := func() (csp.Problem, error) { return problems.New(problems.Queens, size) }
+	r, err := SolverRunner(factory, adaptive.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunFindsSolution(t *testing.T) {
+	out, err := Run(context.Background(), queensRunner(t, 20), Options{Walkers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner < 0 || out.Winner >= 4 {
+		t.Errorf("winner index %d", out.Winner)
+	}
+	if out.Iterations <= 0 {
+		t.Errorf("winner iterations %d", out.Iterations)
+	}
+	if out.TotalIterations < out.Iterations {
+		t.Errorf("total %d < winner %d", out.TotalIterations, out.Iterations)
+	}
+}
+
+func TestRunSingleWalkerEqualsSequential(t *testing.T) {
+	// One walker with stream Split(0) of seed s must reproduce the
+	// sequential run with the same derived stream.
+	factory := func() (csp.Problem, error) { return problems.New(problems.Queens, 16) }
+	runner, err := SolverRunner(factory, adaptive.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(context.Background(), runner, Options{Walkers: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := problems.New(problems.Queens, 16)
+	s, _ := adaptive.New(p, adaptive.Params{})
+	res := s.Run(xrand.New(42).Split(0))
+	if !res.Solved || res.Stats.Iterations != out.Iterations {
+		t.Errorf("sequential %d vs 1-walker %d iterations", res.Stats.Iterations, out.Iterations)
+	}
+}
+
+func TestRunMoreWalkersNotSlowerOnAverage(t *testing.T) {
+	// E[Z(8)] ≤ E[Z(1)] with good margin on a workload whose runtime
+	// actually varies (Costas; Queens is near-deterministic under
+	// min-conflict and would make the comparison noise-bound).
+	factory := func() (csp.Problem, error) { return problems.New(problems.Costas, 10) }
+	runner, err := SolverRunner(factory, adaptive.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(walkers int) float64 {
+		var sum float64
+		const reps = 12
+		for k := 0; k < reps; k++ {
+			out, err := Run(context.Background(), runner, Options{Walkers: walkers, Seed: uint64(1000 + k)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(out.Iterations)
+		}
+		return sum / reps
+	}
+	m1, m8 := mean(1), mean(8)
+	if m8 > m1 {
+		t.Errorf("8 walkers slower than 1 on average: %v vs %v", m8, m1)
+	}
+}
+
+func TestRunHonoursParentCancellation(t *testing.T) {
+	// Costas 16 is hard enough that cancellation wins the race.
+	factory := func() (csp.Problem, error) { return problems.New(problems.Costas, 16) }
+	runner, err := SolverRunner(factory, adaptive.Params{CheckEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, runner, Options{Walkers: 2, Seed: 3})
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Skip("solved before cancellation — unlucky timing")
+		}
+		if !errors.Is(err, ErrNoWinner) {
+			t.Errorf("want ErrNoWinner, got %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("multi-walk did not stop after cancellation")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), nil, Options{Walkers: 1}); err == nil {
+		t.Error("nil runner accepted")
+	}
+	if _, err := Run(context.Background(), queensRunner(t, 8), Options{Walkers: 0}); err == nil {
+		t.Error("0 walkers accepted")
+	}
+}
+
+func TestSimulateMinProperty(t *testing.T) {
+	pool := []float64{5, 10, 20, 40, 80, 160}
+	zs, err := Simulate(pool, 4, 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range zs {
+		if z < 5 || z > 160 {
+			t.Fatalf("simulated min %v outside pool range", z)
+		}
+	}
+	// Mean of min of 4 must be well below the pool mean.
+	if m := stats.Mean(zs); m >= stats.Mean(pool) {
+		t.Errorf("min-of-4 mean %v not below pool mean %v", m, stats.Mean(pool))
+	}
+}
+
+func TestSimulateMatchesExactPlugInFormula(t *testing.T) {
+	// The Monte Carlo simulation must converge to the exact ECDF
+	// min-expectation (dist.Empirical.MinExpectation).
+	pool := []float64{1, 3, 7, 20, 55, 148, 403}
+	const n = 3
+	zs, err := Simulate(pool, n, 60000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// exact: Σ x_(i) [((m-i+1)/m)^n - ((m-i)/m)^n]
+	m := float64(len(pool))
+	var want float64
+	for i, x := range pool {
+		hi := math.Pow((m-float64(i))/m, n)
+		lo := math.Pow((m-float64(i)-1)/m, n)
+		want += x * (hi - lo)
+	}
+	got := stats.Mean(zs)
+	if math.Abs(got-want) > 0.03*want {
+		t.Errorf("simulated E[Z(3)] = %v, exact %v", got, want)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(nil, 2, 10, 1); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := Simulate([]float64{1}, 0, 10, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Simulate([]float64{1}, 2, 0, 1); err == nil {
+		t.Error("reps=0 accepted")
+	}
+}
+
+func TestMeasureSimulatedLinearForExponentialPool(t *testing.T) {
+	// Exponential pool ⇒ near-linear measured speed-up (§3.3).
+	r := xrand.New(123)
+	pool := make([]float64, 4000)
+	for i := range pool {
+		pool[i] = r.Exp() * 1e6
+	}
+	pts, err := MeasureSimulated(pool, []int{2, 4, 8, 16}, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		ideal := float64(pt.Cores)
+		if math.Abs(pt.Speedup-ideal) > 0.25*ideal {
+			t.Errorf("cores=%d speed-up %v, want ≈%v", pt.Cores, pt.Speedup, ideal)
+		}
+		if !pt.Simulated || pt.StdErr <= 0 {
+			t.Errorf("point metadata wrong: %+v", pt)
+		}
+	}
+}
+
+func TestMeasureSimulatedSubLinearForShiftedPool(t *testing.T) {
+	// Shifted exponential pool (x0 comparable to 1/λ) ⇒ clearly
+	// sub-linear speed-up at higher core counts.
+	r := xrand.New(321)
+	pool := make([]float64, 4000)
+	for i := range pool {
+		pool[i] = 1000 + r.Exp()*1000
+	}
+	pts, err := MeasureSimulated(pool, []int{16, 64}, 4000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Speedup > 10 {
+		t.Errorf("16-core speed-up %v, expected well below 10 (limit is 2 at ∞... )", pts[0].Speedup)
+	}
+	if pts[1].Speedup > pts[0].Speedup*4 {
+		t.Errorf("speed-up growing linearly despite shift: %v then %v", pts[0].Speedup, pts[1].Speedup)
+	}
+}
+
+func TestMeasureRealAgainstSimulated(t *testing.T) {
+	// The ablation claim: real goroutine multi-walk and min-resampling
+	// agree (within Monte Carlo noise) on feasible core counts.
+	if testing.Short() {
+		t.Skip("campaign too slow for -short")
+	}
+	factory := func() (csp.Problem, error) { return problems.New(problems.Queens, 22) }
+	runner, err := SolverRunner(factory, adaptive.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential pool.
+	pool := make([]float64, 60)
+	for i := range pool {
+		out, err := Run(context.Background(), runner, Options{Walkers: 1, Seed: uint64(5000 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool[i] = float64(out.Iterations)
+	}
+	seqMean := stats.Mean(pool)
+	real, err := MeasureReal(context.Background(), runner, seqMean, []int{4}, 25, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := MeasureSimulated(pool, []int{4}, 4000, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous tolerance: both estimates are noisy on small reps.
+	if real[0].Speedup < sim[0].Speedup/3 || real[0].Speedup > sim[0].Speedup*3 {
+		t.Errorf("real %v vs simulated %v speed-up at 4 cores", real[0].Speedup, sim[0].Speedup)
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	if _, err := MeasureSimulated([]float64{1, 2}, []int{2}, 1, 1); err == nil {
+		t.Error("reps=1 accepted")
+	}
+	if _, err := MeasureReal(context.Background(), queensRunner(t, 8), 0, []int{1}, 1, 1); err == nil {
+		t.Error("non-positive sequential mean accepted")
+	}
+	if _, err := SolverRunner(nil, adaptive.Params{}); err == nil {
+		t.Error("nil factory accepted")
+	}
+}

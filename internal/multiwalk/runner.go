@@ -1,0 +1,40 @@
+package multiwalk
+
+import (
+	"context"
+	"errors"
+
+	"lasvegas/internal/adaptive"
+	"lasvegas/internal/csp"
+	"lasvegas/internal/xrand"
+)
+
+// SolverRunner adapts the Adaptive Search solver to the multi-walk
+// engine: every walker gets a fresh problem instance (problems are
+// stateful) and a fresh solver, and reports its iteration count even
+// when it loses the race and is cancelled.
+func SolverRunner(factory func() (csp.Problem, error), params adaptive.Params) (Runner, error) {
+	if factory == nil {
+		return nil, errors.New("multiwalk: nil problem factory")
+	}
+	// Validate eagerly so Run does not fail per-walker.
+	p, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := adaptive.New(p, params); err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context, r *xrand.Rand) WalkResult {
+		p, err := factory()
+		if err != nil {
+			return WalkResult{}
+		}
+		s, err := adaptive.New(p, params)
+		if err != nil {
+			return WalkResult{}
+		}
+		res := s.RunContext(ctx, r)
+		return WalkResult{Iterations: res.Stats.Iterations, Solved: res.Solved}
+	}, nil
+}

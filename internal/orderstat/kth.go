@@ -1,0 +1,127 @@
+package orderstat
+
+import (
+	"fmt"
+	"math"
+
+	"lasvegas/internal/dist"
+	"lasvegas/internal/optim"
+	"lasvegas/internal/specfn"
+	"lasvegas/internal/xrand"
+)
+
+// Kth is the full distribution of the k-th smallest of N i.i.d.
+// draws from Base — the general order statistic behind Min (k=1).
+// For the multi-walk scheme it answers straggler questions the mean
+// of the minimum cannot: "when does the k-th walker finish?" (e.g.
+// the median walker k=N/2 measures wasted work; k=N is the time to
+// drain the whole pool if nothing is cancelled).
+//
+//	F_{(k:N)}(x) = I_{F(x)}(k, N-k+1)
+//
+// with I the regularized incomplete beta function.
+type Kth struct {
+	Base dist.Dist
+	K, N int
+}
+
+// NewKth validates 1 ≤ k ≤ n.
+func NewKth(base dist.Dist, k, n int) (Kth, error) {
+	if base == nil {
+		return Kth{}, fmt.Errorf("%w: nil base distribution", dist.ErrParam)
+	}
+	if n < 1 || k < 1 || k > n {
+		return Kth{}, fmt.Errorf("%w: order statistic k=%d of n=%d", dist.ErrParam, k, n)
+	}
+	return Kth{Base: base, K: k, N: n}, nil
+}
+
+// CDF implements dist.Dist.
+func (o Kth) CDF(x float64) float64 {
+	f := o.Base.CDF(x)
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return 1
+	}
+	return specfn.BetaInc(float64(o.K), float64(o.N-o.K+1), f)
+}
+
+// PDF implements dist.Dist:
+// n!/((k-1)!(n-k)!) · f(x) · F^{k-1} · (1-F)^{n-k}, in log space.
+func (o Kth) PDF(x float64) float64 {
+	f := o.Base.CDF(x)
+	pdf := o.Base.PDF(x)
+	if pdf == 0 {
+		return 0
+	}
+	k, n := float64(o.K), float64(o.N)
+	if f <= 0 {
+		if o.K == 1 {
+			return n * pdf * math.Exp((n-1)*math.Log1p(-f))
+		}
+		return 0
+	}
+	if f >= 1 {
+		if o.K == o.N {
+			return n * pdf * math.Pow(f, n-1)
+		}
+		return 0
+	}
+	logC := specfn.LogGamma(n+1) - specfn.LogGamma(k) - specfn.LogGamma(n-k+1)
+	return pdf * math.Exp(logC+(k-1)*math.Log(f)+(n-k)*math.Log1p(-f))
+}
+
+// Quantile implements dist.Dist via the beta quantile of the uniform
+// order statistic: X_{(k:n)} = Q_Y(B) with B ~ Beta(k, n-k+1).
+func (o Kth) Quantile(p float64) float64 {
+	if p <= 0 {
+		lo, _ := o.Base.Support()
+		return lo
+	}
+	if p >= 1 {
+		return o.Base.Quantile(1)
+	}
+	u, err := optim.BrentRoot(func(u float64) float64 {
+		return specfn.BetaInc(float64(o.K), float64(o.N-o.K+1), u) - p
+	}, 0, 1, 1e-13)
+	if err != nil {
+		u = float64(o.K) / float64(o.N+1)
+	}
+	return o.Base.Quantile(u)
+}
+
+// Mean implements dist.Dist via the Nadarajah quantile-domain moment.
+func (o Kth) Mean() float64 {
+	m, err := KthMoment(o.Base, o.K, o.N, 1)
+	if err != nil {
+		return math.NaN()
+	}
+	return m
+}
+
+// Var implements dist.Dist.
+func (o Kth) Var() float64 {
+	m1, err1 := KthMoment(o.Base, o.K, o.N, 1)
+	m2, err2 := KthMoment(o.Base, o.K, o.N, 2)
+	if err1 != nil || err2 != nil {
+		return math.NaN()
+	}
+	return m2 - m1*m1
+}
+
+// Sample implements dist.Dist: draw the uniform order statistic from
+// Beta(k, n-k+1) and push it through the base quantile.
+func (o Kth) Sample(r *xrand.Rand) float64 {
+	b := dist.Beta{Alpha: float64(o.K), BetaP: float64(o.N - o.K + 1), Lo: 0, Hi: 1}
+	return o.Base.Quantile(b.Sample(r))
+}
+
+// Support implements dist.Dist.
+func (o Kth) Support() (float64, float64) { return o.Base.Support() }
+
+// String implements dist.Dist.
+func (o Kth) String() string {
+	return fmt.Sprintf("OrderStat(k=%d of n=%d, %s)", o.K, o.N, o.Base)
+}

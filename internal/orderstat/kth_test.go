@@ -1,0 +1,142 @@
+package orderstat
+
+import (
+	"math"
+	"testing"
+
+	"lasvegas/internal/dist"
+	"lasvegas/internal/xrand"
+)
+
+func TestKthReducesToMinAtK1(t *testing.T) {
+	base, _ := dist.NewShiftedExponential(10, 0.01)
+	k1, err := NewKth(base, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Min{Base: base, N: 8}
+	for _, x := range []float64{15, 50, 200, 800} {
+		if got, want := k1.CDF(x), m.CDF(x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("CDF(%v): kth %v vs min %v", x, got, want)
+		}
+		if got, want := k1.PDF(x), m.PDF(x); math.Abs(got-want) > 1e-8*(1+want) {
+			t.Errorf("PDF(%v): kth %v vs min %v", x, got, want)
+		}
+	}
+	approx(t, k1.Mean(), m.Mean(), 1e-6, "k=1 mean equals min mean")
+}
+
+func TestKthMaxOrderStatistic(t *testing.T) {
+	// k = n is the maximum: F_{(n:n)} = F^n.
+	base, _ := dist.NewUniform(0, 1)
+	kn, err := NewKth(base, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.2, 0.5, 0.9} {
+		want := math.Pow(x, 5)
+		if got := kn.CDF(x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("max CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// E[max of 5 uniforms] = 5/6.
+	approx(t, kn.Mean(), 5.0/6, 1e-6, "uniform max mean")
+}
+
+func TestKthUniformClosedForms(t *testing.T) {
+	base, _ := dist.NewUniform(0, 1)
+	const n = 7
+	for k := 1; k <= n; k++ {
+		o, err := NewKth(base, k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(k) / float64(n+1)
+		approx(t, o.Mean(), want, 1e-6, "uniform k-th mean")
+		// Median check via quantile round trip.
+		med := o.Quantile(0.5)
+		approx(t, o.CDF(med), 0.5, 1e-8, "quantile round trip")
+	}
+}
+
+func TestKthOrderingOfMeans(t *testing.T) {
+	// Means must increase with k.
+	base, _ := dist.NewLogNormal(0, 3, 1)
+	prev := math.Inf(-1)
+	for k := 1; k <= 6; k++ {
+		o, _ := NewKth(base, k, 6)
+		m := o.Mean()
+		if m <= prev {
+			t.Fatalf("E[X_(%d:6)] = %v not increasing (prev %v)", k, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestKthSampleMatchesMean(t *testing.T) {
+	base, _ := dist.NewWeibull(1.5, 50)
+	o, _ := NewKth(base, 3, 9)
+	r := xrand.New(123)
+	const reps = 60000
+	var sum float64
+	for i := 0; i < reps; i++ {
+		sum += o.Sample(r)
+	}
+	approx(t, sum/reps, o.Mean(), 0.02, "sampled mean vs analytic")
+}
+
+func TestKthPDFIntegratesToCDF(t *testing.T) {
+	base, _ := dist.NewNormal(10, 2)
+	o, _ := NewKth(base, 2, 4)
+	a, b := o.Quantile(0.1), o.Quantile(0.9)
+	const steps = 40000
+	h := (b - a) / steps
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		sum += o.PDF(a + (float64(i)+0.5)*h)
+	}
+	sum *= h
+	want := o.CDF(b) - o.CDF(a)
+	approx(t, sum, want, 1e-4, "∫pdf vs ΔCDF")
+}
+
+func TestKthStragglerAnalysis(t *testing.T) {
+	// Multi-walk interpretation: with 16 exponential walkers, the
+	// median finisher (k=8) takes substantially longer than the
+	// winner (k=1) — the work the cancellation discards.
+	base, _ := dist.NewExponential(0.001)
+	winner, _ := NewKth(base, 1, 16)
+	median, _ := NewKth(base, 8, 16)
+	// Exponential order statistics: E[X_(k:n)] = (1/λ)·Σ_{i=0}^{k-1} 1/(n-i).
+	wantWinner := 1000.0 / 16
+	var wantMedian float64
+	for i := 0; i < 8; i++ {
+		wantMedian += 1000.0 / float64(16-i)
+	}
+	approx(t, winner.Mean(), wantWinner, 1e-5, "winner mean")
+	approx(t, median.Mean(), wantMedian, 1e-5, "median finisher mean")
+	if median.Mean() < 5*winner.Mean() {
+		t.Errorf("median straggler %v vs winner %v — expected ≫", median.Mean(), winner.Mean())
+	}
+}
+
+func TestKthValidation(t *testing.T) {
+	base, _ := dist.NewExponential(1)
+	if _, err := NewKth(nil, 1, 2); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewKth(base, 0, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewKth(base, 3, 2); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestKthString(t *testing.T) {
+	base, _ := dist.NewExponential(1)
+	o, _ := NewKth(base, 2, 5)
+	if o.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,250 @@
+package orderstat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lasvegas/internal/dist"
+	"lasvegas/internal/xrand"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+		t.Fatalf("%s: got %.12g, want %.12g", msg, got, want)
+	}
+}
+
+func TestMinCDFIdentity(t *testing.T) {
+	// F_Z = 1-(1-F_Y)^n must hold exactly for any base law.
+	base, _ := dist.NewLogNormal(10, 3, 0.8)
+	for _, n := range []int{1, 2, 8, 100, 4096} {
+		m, err := NewMin(base, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range []float64{11, 15, 30, 80, 400} {
+			want := 1 - math.Pow(1-base.CDF(x), float64(n))
+			if got := m.CDF(x); math.Abs(got-want) > 1e-9 {
+				t.Errorf("n=%d x=%v: CDF %v, want %v", n, x, got, want)
+			}
+		}
+	}
+}
+
+func TestMinCDFIdentityProperty(t *testing.T) {
+	base, _ := dist.NewWeibull(1.3, 25)
+	f := func(xRaw float64, nRaw uint8) bool {
+		x := math.Mod(math.Abs(xRaw), 200)
+		n := int(nRaw%64) + 1
+		m := Min{Base: base, N: n}
+		want := 1 - math.Pow(1-base.CDF(x), float64(n))
+		return math.Abs(m.CDF(x)-want) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinPDFMatchesNumericalDerivative(t *testing.T) {
+	base, _ := dist.NewShiftedExponential(100, 1e-3)
+	m := Min{Base: base, N: 10}
+	for _, x := range []float64{150, 300, 700} {
+		h := 1e-4 * x
+		numeric := (m.CDF(x+h) - m.CDF(x-h)) / (2 * h)
+		approx(t, m.PDF(x), numeric, 1e-4, "pdf vs dCDF")
+	}
+}
+
+func TestMinQuantileRoundTrip(t *testing.T) {
+	base, _ := dist.NewLogNormal(0, 5, 1)
+	m := Min{Base: base, N: 16}
+	for p := 0.01; p < 1; p += 0.07 {
+		x := m.Quantile(p)
+		approx(t, m.CDF(x), p, 1e-7, "CDF(Q(p))")
+	}
+}
+
+func TestExponentialClosedFormVsQuadrature(t *testing.T) {
+	// Paper §3.3: E[Z(n)] = x0 + 1/(nλ). The generic quantile-domain
+	// integral must agree with the closed form.
+	base, _ := dist.NewShiftedExponential(100, 1e-3)
+	for _, n := range []int{1, 2, 4, 16, 64, 256, 2048} {
+		want := 100 + 1000/float64(n)
+		got, err := Moment(base, n, 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		approx(t, got, want, 1e-7, "E[Z(n)] quadrature vs closed form")
+		// And the fast path must return the closed form exactly.
+		approx(t, MeanMin(base, n), want, 1e-12, "MeanMin fast path")
+	}
+}
+
+func TestUniformClosedForm(t *testing.T) {
+	// E[min of n U(0,1)] = 1/(n+1).
+	base, _ := dist.NewUniform(0, 1)
+	for _, n := range []int{1, 2, 5, 10, 100} {
+		want := 1 / float64(n+1)
+		approx(t, MeanMin(base, n), want, 1e-12, "uniform min mean")
+		got, err := Moment(base, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, got, want, 1e-8, "uniform quadrature")
+	}
+}
+
+func TestTimeDomainAgreesWithQuantileDomain(t *testing.T) {
+	base, _ := dist.NewLogNormal(50, 4, 1.2)
+	for _, n := range []int{1, 4, 32, 128} {
+		qd, err := Moment(base, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, err := MeanMinTimeDomain(base, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, td, qd, 1e-5, "time vs quantile domain")
+	}
+}
+
+func TestGaussianMinAgainstMonteCarlo(t *testing.T) {
+	base, _ := dist.NewNormal(30, 8)
+	r := xrand.New(42)
+	for _, n := range []int{2, 10, 50} {
+		m := Min{Base: base, N: n}
+		analytic := m.Mean()
+		const trials = 40000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += m.SampleBrute(r)
+		}
+		mc := sum / trials
+		approx(t, analytic, mc, 0.02, "gaussian min vs Monte Carlo")
+	}
+}
+
+func TestSampleMatchesBruteSample(t *testing.T) {
+	base, _ := dist.NewShiftedExponential(10, 0.05)
+	m := Min{Base: base, N: 8}
+	r := xrand.New(7)
+	const trials = 60000
+	var sQ, sB float64
+	for i := 0; i < trials; i++ {
+		sQ += m.Sample(r)
+		sB += m.SampleBrute(r)
+	}
+	approx(t, sQ/trials, sB/trials, 0.02, "transform vs brute sampling")
+	approx(t, sQ/trials, m.Mean(), 0.02, "transform sampling vs mean")
+}
+
+func TestMinVariance(t *testing.T) {
+	// Min of n exponential(λ) is exponential(nλ): Var = 1/(nλ)².
+	base, _ := dist.NewExponential(0.25)
+	m := Min{Base: base, N: 4}
+	approx(t, m.Var(), 1.0, 1e-6, "variance of exp min")
+}
+
+func TestMeanMonotoneDecreasing(t *testing.T) {
+	base, _ := dist.NewLogNormal(5, 3, 1)
+	prev := math.Inf(1)
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024, 8192} {
+		v := MeanMin(base, n)
+		if math.IsNaN(v) {
+			t.Fatalf("NaN at n=%d", n)
+		}
+		if v > prev+1e-9 {
+			t.Fatalf("E[Z(n)] increased at n=%d: %v > %v", n, v, prev)
+		}
+		prev = v
+	}
+	// Large n approaches the support edge (shift = 5).
+	if prev > 7 {
+		t.Errorf("E[Z(8192)] = %v, expected close to shift 5", prev)
+	}
+}
+
+func TestKthMomentOrdering(t *testing.T) {
+	// For U(0,1), E[X_{(k:n)}] = k/(n+1).
+	base, _ := dist.NewUniform(0, 1)
+	const n = 7
+	for k := 1; k <= n; k++ {
+		got, err := KthMoment(base, k, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, got, float64(k)/(n+1), 1e-6, "uniform k-th order statistic")
+	}
+}
+
+func TestKthMomentSecondMoment(t *testing.T) {
+	// For U(0,1), E[X²_{(k:n)}] = k(k+1)/((n+1)(n+2)).
+	base, _ := dist.NewUniform(0, 1)
+	got, err := KthMoment(base, 2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, got, 2.0*3/(5*6), 1e-6, "uniform second moment")
+}
+
+func TestEmpiricalFastPath(t *testing.T) {
+	e, err := dist.NewEmpirical([]float64{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Min{Base: e, N: 3}
+	if got, want := m.Mean(), e.MinExpectation(3); got != want {
+		t.Errorf("empirical fast path: %v vs %v", got, want)
+	}
+}
+
+func TestInvalidArguments(t *testing.T) {
+	base, _ := dist.NewExponential(1)
+	if _, err := NewMin(base, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewMin(nil, 3); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := Moment(base, 0, 1); err == nil {
+		t.Error("Moment n=0 accepted")
+	}
+	if _, err := Moment(base, 2, 0); err == nil {
+		t.Error("Moment r=0 accepted")
+	}
+	if _, err := KthMoment(base, 5, 3, 1); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestLargeNStability(t *testing.T) {
+	// Figure 14 regime: n = 8192 must evaluate without under/overflow.
+	base, _ := dist.NewLogNormal(0, 12.0275, 1.3398)
+	v := MeanMin(base, 8192)
+	if math.IsNaN(v) || v <= 0 {
+		t.Fatalf("E[Z(8192)] = %v", v)
+	}
+	lo, _ := base.Support()
+	if v < lo {
+		t.Fatalf("min mean %v below support %v", v, lo)
+	}
+}
+
+func BenchmarkMeanMinQuantileDomain(b *testing.B) {
+	base, _ := dist.NewLogNormal(6210, 12.0275, 1.3398)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Moment(base, 256, 1)
+	}
+}
+
+func BenchmarkMeanMinTimeDomain(b *testing.B) {
+	base, _ := dist.NewLogNormal(6210, 12.0275, 1.3398)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = MeanMinTimeDomain(base, 256)
+	}
+}

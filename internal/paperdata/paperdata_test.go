@@ -1,0 +1,102 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+
+	"lasvegas/internal/core"
+	"lasvegas/internal/problems"
+)
+
+func TestTablesAligned(t *testing.T) {
+	for _, rows := range [][]SpeedupRow{Table3TimeSpeedups, Table4IterSpeedups, Table5Predicted} {
+		if len(rows) != 3 {
+			t.Fatalf("expected 3 problems, got %d", len(rows))
+		}
+		for _, r := range rows {
+			if len(r.Speedups) != len(Cores) {
+				t.Errorf("%s: %d speed-ups for %d cores", r.Problem, len(r.Speedups), len(Cores))
+			}
+		}
+	}
+	if len(Table1Times) != 3 || len(Table2Iterations) != 3 {
+		t.Error("summary tables incomplete")
+	}
+}
+
+func TestFittedMeansMatchPublishedMeans(t *testing.T) {
+	// The paper's estimators tie fitted means to Table 2's means.
+	ai := FittedAI700()
+	if m := ai.Mean(); math.Abs(m-110393) > 110393*0.001 {
+		t.Errorf("AI fitted mean %v vs published 110393", m)
+	}
+	costas := FittedCostas21()
+	if m := costas.Mean(); math.Abs(m-183428617) > 183428617*0.02 {
+		t.Errorf("Costas fitted mean %v vs published 1.83e8", m)
+	}
+	// Lognormal mean is not exactly the sample mean under MLE — allow
+	// a wider band.
+	ms := FittedMS200()
+	if m := ms.Mean(); math.Abs(m-443969) > 443969*0.10 {
+		t.Errorf("MS fitted mean %v vs published 443969", m)
+	}
+}
+
+// TestPredictorReproducesTable5 is the repository's ground-truth
+// check: the Go pipeline fed the paper's fitted parameters must
+// reproduce the paper's own predicted rows.
+func TestPredictorReproducesTable5(t *testing.T) {
+	for _, row := range Table5Predicted {
+		var kind problems.Kind
+		switch row.Problem {
+		case "MS 200":
+			kind = problems.MagicSquare
+		case "AI 700":
+			kind = problems.AllInterval
+		case "Costas 21":
+			kind = problems.Costas
+		}
+		d, ok := Fitted(kind)
+		if !ok {
+			t.Fatalf("no fit for %s", row.Problem)
+		}
+		p, err := core.NewPredictor(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range Cores {
+			g, err := p.Speedup(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := row.Speedups[i]
+			if math.Abs(g-want) > 0.005*want+0.005 {
+				t.Errorf("%s k=%d: predicted %v, paper %v", row.Problem, k, g, want)
+			}
+		}
+	}
+}
+
+func TestSpeedupLimitAI(t *testing.T) {
+	p, err := core.NewPredictor(FittedAI700())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim := p.Limit(); math.Abs(lim-SpeedupLimitAI) > 1e-3 {
+		t.Errorf("AI limit %v vs paper %v", lim, SpeedupLimitAI)
+	}
+}
+
+func TestFittedLookup(t *testing.T) {
+	for _, kind := range []problems.Kind{problems.AllInterval, problems.MagicSquare, problems.Costas} {
+		if _, ok := Fitted(kind); !ok {
+			t.Errorf("no fit for %s", kind)
+		}
+		if _, ok := PaperLabel(kind); !ok {
+			t.Errorf("no label for %s", kind)
+		}
+	}
+	if _, ok := Fitted(problems.Queens); ok {
+		t.Error("queens should have no paper fit")
+	}
+}

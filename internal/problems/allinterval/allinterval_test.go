@@ -1,0 +1,112 @@
+package allinterval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lasvegas/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2); err == nil {
+		t.Error("size 2 accepted")
+	}
+	p, err := New(8)
+	if err != nil || p.Size() != 8 || p.Name() != "all-interval-8" {
+		t.Fatalf("New(8): %v %v", p, err)
+	}
+}
+
+func TestCostOfKnownConfigurations(t *testing.T) {
+	p, _ := New(8)
+	// Paper's solution.
+	if c := p.Cost([]int{3, 6, 0, 7, 2, 4, 5, 1}); c != 0 {
+		t.Errorf("solution cost %d", c)
+	}
+	// Identity: distances all 1 → 7 ones → 6 excess.
+	if c := p.Cost([]int{0, 1, 2, 3, 4, 5, 6, 7}); c != 6 {
+		t.Errorf("identity cost %d, want 6", c)
+	}
+	// Zig-zag 0,7,1,6,2,5,3,4: distances 7,6,5,4,3,2,1 → solution.
+	if c := p.Cost([]int{0, 7, 1, 6, 2, 5, 3, 4}); c != 0 {
+		t.Errorf("zig-zag cost %d, want 0", c)
+	}
+}
+
+func TestCostIfSwapAdjacentPositions(t *testing.T) {
+	// Swapping adjacent positions shares a middle pair — the trickiest
+	// dedup case for pairsAround.
+	p, _ := New(10)
+	r := xrand.New(3)
+	sol := r.Perm(10)
+	p.InitState(sol)
+	cost := p.Cost(sol)
+	for i := 0; i+1 < 10; i++ {
+		probe := p.CostIfSwap(sol, cost, i, i+1)
+		sol[i], sol[i+1] = sol[i+1], sol[i]
+		if want := p.Cost(sol); probe != want {
+			t.Fatalf("adjacent swap (%d,%d): probe %d, want %d", i, i+1, probe, want)
+		}
+		sol[i], sol[i+1] = sol[i+1], sol[i] // restore
+	}
+}
+
+func TestCostIfSwapEndpoints(t *testing.T) {
+	p, _ := New(12)
+	r := xrand.New(5)
+	sol := r.Perm(12)
+	p.InitState(sol)
+	cost := p.Cost(sol)
+	for _, pair := range [][2]int{{0, 11}, {0, 1}, {10, 11}, {0, 5}, {5, 11}} {
+		i, j := pair[0], pair[1]
+		probe := p.CostIfSwap(sol, cost, i, j)
+		sol[i], sol[j] = sol[j], sol[i]
+		if want := p.Cost(sol); probe != want {
+			t.Fatalf("swap (%d,%d): probe %d, want %d", i, j, probe, want)
+		}
+		sol[i], sol[j] = sol[j], sol[i]
+	}
+}
+
+func TestCostOnVariableSumsOverAdjacentPairs(t *testing.T) {
+	p, _ := New(6)
+	sol := []int{0, 1, 2, 3, 4, 5} // all distances 1
+	p.InitState(sol)
+	// count[1] = 5 → every interior variable sees 2·(5-1)=8, endpoints 4.
+	if e := p.CostOnVariable(sol, 0); e != 4 {
+		t.Errorf("endpoint error %d, want 4", e)
+	}
+	if e := p.CostOnVariable(sol, 3); e != 8 {
+		t.Errorf("interior error %d, want 8", e)
+	}
+}
+
+func TestIsSolutionRejectsNonPermutation(t *testing.T) {
+	p, _ := New(8)
+	if p.IsSolution([]int{0, 0, 1, 2, 3, 4, 5, 6}) {
+		t.Error("duplicate values accepted")
+	}
+}
+
+func TestIncrementalPropertyRandomWalk(t *testing.T) {
+	p, _ := New(15)
+	r := xrand.New(11)
+	sol := r.Perm(15)
+	p.InitState(sol)
+	cost := p.Cost(sol)
+	f := func(a, b uint8) bool {
+		i, j := int(a)%15, int(b)%15
+		if i == j {
+			return true
+		}
+		probe := p.CostIfSwap(sol, cost, i, j)
+		sol[i], sol[j] = sol[j], sol[i]
+		ok := probe == p.Cost(sol)
+		p.ExecutedSwap(sol, i, j)
+		cost = probe
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

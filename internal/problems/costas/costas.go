@@ -1,0 +1,209 @@
+// Package costas implements the COSTAS ARRAY problem (§5.3 of the
+// paper): an N×N grid with one mark per row and column such that the
+// N(N-1)/2 displacement vectors between marks are pairwise distinct.
+// Viewing the marks as a permutation sol (column i holds a mark at
+// row sol[i]), the condition is that for every row distance d, the
+// differences sol[i+d] - sol[i] are pairwise distinct.
+//
+// Cost model: Σ_{d,v} max(0, count_d(v)-1) — the number of repeated
+// difference vectors. A swap of columns i and j touches O(N) of the
+// difference triangle, so CostIfSwap runs in O(N) versus O(N²) for a
+// full recomputation.
+package costas
+
+import (
+	"fmt"
+
+	"lasvegas/internal/csp"
+)
+
+// Problem is a COSTAS ARRAY instance. Stateful; one solver per
+// instance.
+type Problem struct {
+	n int
+	// count[d-1][v+n-1] = occurrences of difference v at row distance d
+	count [][]int
+	// undo log reused by CostIfSwap probes
+	log []change
+}
+
+type change struct{ d, v int }
+
+// New returns an instance of order n (n ≥ 3).
+func New(n int) (*Problem, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("costas: order %d too small", n)
+	}
+	cnt := make([][]int, n-1)
+	for d := range cnt {
+		cnt[d] = make([]int, 2*n-1)
+	}
+	return &Problem{n: n, count: cnt, log: make([]change, 0, 8*n)}, nil
+}
+
+// Size implements csp.Problem.
+func (p *Problem) Size() int { return p.n }
+
+// Name implements csp.Problem.
+func (p *Problem) Name() string { return fmt.Sprintf("costas-%d", p.n) }
+
+// Cost implements csp.Problem by recomputing the full difference
+// triangle (O(N²)).
+func (p *Problem) Cost(sol []int) int {
+	n := p.n
+	cost := 0
+	count := make([]int, 2*n-1)
+	for d := 1; d < n; d++ {
+		for i := range count {
+			count[i] = 0
+		}
+		for i := 0; i+d < n; i++ {
+			v := sol[i+d] - sol[i] + n - 1
+			count[v]++
+			if count[v] > 1 {
+				cost++
+			}
+		}
+	}
+	return cost
+}
+
+// InitState implements csp.Incremental.
+func (p *Problem) InitState(sol []int) {
+	n := p.n
+	for d := 1; d < n; d++ {
+		row := p.count[d-1]
+		for i := range row {
+			row[i] = 0
+		}
+		for i := 0; i+d < n; i++ {
+			row[sol[i+d]-sol[i]+n-1]++
+		}
+	}
+}
+
+// forEachAffectedPair visits the left endpoints of difference pairs
+// involving column i or column j, once each, for every distance d.
+func (p *Problem) forEachAffectedPair(i, j int, visit func(d, left int)) {
+	n := p.n
+	for d := 1; d < n; d++ {
+		// candidate left endpoints: i-d, i, j-d, j (deduplicated)
+		c0, c1, c2, c3 := i-d, i, j-d, j
+		if c1 > n-1-d {
+			c1 = -1
+		}
+		if c3 > n-1-d {
+			c3 = -1
+		}
+		if c2 == c0 || c2 == c1 {
+			c2 = -1
+		}
+		if c3 == c0 || c3 == c1 || c3 == c2 {
+			c3 = -1
+		}
+		if c0 >= 0 && c0 <= n-1-d {
+			visit(d, c0)
+		}
+		if c1 >= 0 {
+			visit(d, c1)
+		}
+		if c2 >= 0 && c2 <= n-1-d {
+			visit(d, c2)
+		}
+		if c3 >= 0 {
+			visit(d, c3)
+		}
+	}
+}
+
+// CostIfSwap implements csp.Incremental: remove affected differences,
+// add their post-swap values, read the cost delta, roll back.
+func (p *Problem) CostIfSwap(sol []int, cost, i, j int) int {
+	n := p.n
+	val := func(q int) int {
+		switch q {
+		case i:
+			return sol[j]
+		case j:
+			return sol[i]
+		}
+		return sol[q]
+	}
+	p.log = p.log[:0]
+	remove := func(d, v int) {
+		row := p.count[d-1]
+		row[v]--
+		if row[v] >= 1 {
+			cost--
+		}
+		p.log = append(p.log, change{d, v})
+	}
+	p.forEachAffectedPair(i, j, func(d, left int) {
+		remove(d, sol[left+d]-sol[left]+n-1)
+	})
+	mark := len(p.log)
+	add := func(d, v int) {
+		row := p.count[d-1]
+		row[v]++
+		if row[v] > 1 {
+			cost++
+		}
+		p.log = append(p.log, change{d, v})
+	}
+	p.forEachAffectedPair(i, j, func(d, left int) {
+		add(d, val(left+d)-val(left)+n-1)
+	})
+	// Roll back: additions first, then removals.
+	for k := len(p.log) - 1; k >= mark; k-- {
+		p.count[p.log[k].d-1][p.log[k].v]--
+	}
+	for k := mark - 1; k >= 0; k-- {
+		p.count[p.log[k].d-1][p.log[k].v]++
+	}
+	return cost
+}
+
+// ExecutedSwap implements csp.Incremental (sol already swapped).
+func (p *Problem) ExecutedSwap(sol []int, i, j int) {
+	n := p.n
+	old := func(q int) int {
+		switch q {
+		case i:
+			return sol[j]
+		case j:
+			return sol[i]
+		}
+		return sol[q]
+	}
+	p.forEachAffectedPair(i, j, func(d, left int) {
+		p.count[d-1][old(left+d)-old(left)+n-1]--
+	})
+	p.forEachAffectedPair(i, j, func(d, left int) {
+		p.count[d-1][sol[left+d]-sol[left]+n-1]++
+	})
+}
+
+// CostOnVariable implements csp.VariableCost: column i inherits one
+// error for each duplicated difference vector it participates in.
+func (p *Problem) CostOnVariable(sol []int, i int) int {
+	n := p.n
+	e := 0
+	for d := 1; d < n; d++ {
+		if i+d < n {
+			if c := p.count[d-1][sol[i+d]-sol[i]+n-1]; c > 1 {
+				e += c - 1
+			}
+		}
+		if i-d >= 0 {
+			if c := p.count[d-1][sol[i]-sol[i-d]+n-1]; c > 1 {
+				e += c - 1
+			}
+		}
+	}
+	return e
+}
+
+// IsSolution reports whether sol is a Costas array.
+func (p *Problem) IsSolution(sol []int) bool {
+	return csp.Validate(p, sol) && p.Cost(sol) == 0
+}

@@ -1,0 +1,122 @@
+package costas
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lasvegas/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2); err == nil {
+		t.Error("order 2 accepted")
+	}
+	p, err := New(5)
+	if err != nil || p.Size() != 5 || p.Name() != "costas-5" {
+		t.Fatalf("New(5): %+v, %v", p, err)
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// Paper §5.3 example, 0-based: [2, 3, 1, 0, 4].
+	p, _ := New(5)
+	if c := p.Cost([]int{2, 3, 1, 0, 4}); c != 0 {
+		t.Errorf("paper example cost %d", c)
+	}
+}
+
+func TestWelchConstruction(t *testing.T) {
+	// Welch construction: for prime p=7 with primitive root 3, the
+	// sequence 3^i mod 7 (i=1..6) = 3,2,6,4,5,1 is a Costas array of
+	// order 6 (1-based rows). 0-based: 2,1,5,3,4,0.
+	p, _ := New(6)
+	if c := p.Cost([]int{2, 1, 5, 3, 4, 0}); c != 0 {
+		t.Errorf("Welch construction cost %d, want 0", c)
+	}
+}
+
+func TestIdentityHasMaximalRepeats(t *testing.T) {
+	// Identity of order n: every distance-d difference equals d, so
+	// each d contributes (n-d-1) excess; total Σ_{d=1..n-1}(n-d-1) =
+	// (n-1)(n-2)/2.
+	for _, n := range []int{4, 6, 9} {
+		p, _ := New(n)
+		sol := make([]int, n)
+		for i := range sol {
+			sol[i] = i
+		}
+		want := (n - 1) * (n - 2) / 2
+		if c := p.Cost(sol); c != want {
+			t.Errorf("order %d identity cost %d, want %d", n, c, want)
+		}
+	}
+}
+
+func TestCostIfSwapDistanceOnePositions(t *testing.T) {
+	// Adjacent columns share difference pairs at every distance — the
+	// hardest dedup case in forEachAffectedPair.
+	p, _ := New(9)
+	r := xrand.New(21)
+	sol := r.Perm(9)
+	p.InitState(sol)
+	cost := p.Cost(sol)
+	for i := 0; i+1 < 9; i++ {
+		probe := p.CostIfSwap(sol, cost, i, i+1)
+		sol[i], sol[i+1] = sol[i+1], sol[i]
+		if want := p.Cost(sol); probe != want {
+			t.Fatalf("adjacent swap (%d,%d): probe %d, want %d", i, i+1, probe, want)
+		}
+		sol[i], sol[i+1] = sol[i+1], sol[i]
+	}
+}
+
+func TestCostIfSwapSymmetric(t *testing.T) {
+	p, _ := New(8)
+	r := xrand.New(23)
+	sol := r.Perm(8)
+	p.InitState(sol)
+	cost := p.Cost(sol)
+	for trial := 0; trial < 50; trial++ {
+		i, j := r.Intn(8), r.Intn(8)
+		if i == j {
+			continue
+		}
+		if p.CostIfSwap(sol, cost, i, j) != p.CostIfSwap(sol, cost, j, i) {
+			t.Fatalf("CostIfSwap not symmetric in (i,j)")
+		}
+	}
+}
+
+func TestCostOnVariableZeroOnSolution(t *testing.T) {
+	p, _ := New(5)
+	sol := []int{2, 3, 1, 0, 4}
+	p.InitState(sol)
+	for i := range sol {
+		if e := p.CostOnVariable(sol, i); e != 0 {
+			t.Errorf("solved state: variable %d error %d", i, e)
+		}
+	}
+}
+
+func TestIncrementalPropertyRandomWalk(t *testing.T) {
+	p, _ := New(11)
+	r := xrand.New(29)
+	sol := r.Perm(11)
+	p.InitState(sol)
+	cost := p.Cost(sol)
+	f := func(a, b uint8) bool {
+		i, j := int(a)%11, int(b)%11
+		if i == j {
+			return true
+		}
+		probe := p.CostIfSwap(sol, cost, i, j)
+		sol[i], sol[j] = sol[j], sol[i]
+		ok := probe == p.Cost(sol)
+		p.ExecutedSwap(sol, i, j)
+		cost = probe
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

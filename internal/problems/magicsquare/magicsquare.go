@@ -1,0 +1,190 @@
+// Package magicsquare implements CSPLib prob019, the MAGIC-SQUARE
+// problem (§5.2 of the paper): place {1..N²} on an N×N board so that
+// every row, column and both main diagonals sum to the magic constant
+// M = N(N²+1)/2.
+//
+// A configuration is a permutation of {0..N²-1}; cell p holds value
+// sol[p]+1 at row p/N, column p%N. The cost is the L1 deviation of
+// all 2N+2 line sums from M, and a swap touches at most two rows, two
+// columns and the two diagonals, so CostIfSwap runs in O(1).
+package magicsquare
+
+import (
+	"fmt"
+
+	"lasvegas/internal/csp"
+)
+
+// Problem is a MAGIC-SQUARE instance of side N. Stateful; one solver
+// per instance.
+type Problem struct {
+	n     int // side
+	magic int // N(N²+1)/2
+	row   []int
+	col   []int
+	diag  int // main diagonal sum
+	anti  int // anti-diagonal sum
+}
+
+// New returns an N×N instance (N ≥ 3; N = 2 has no magic square).
+func New(n int) (*Problem, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("magicsquare: side %d too small", n)
+	}
+	return &Problem{
+		n:     n,
+		magic: n * (n*n + 1) / 2,
+		row:   make([]int, n),
+		col:   make([]int, n),
+	}, nil
+}
+
+// Size implements csp.Problem: N² variables.
+func (p *Problem) Size() int { return p.n * p.n }
+
+// Side returns N.
+func (p *Problem) Side() int { return p.n }
+
+// Magic returns the magic constant M.
+func (p *Problem) Magic() int { return p.magic }
+
+// Name implements csp.Problem.
+func (p *Problem) Name() string { return fmt.Sprintf("magic-square-%d", p.n) }
+
+// Cost implements csp.Problem by full recomputation.
+func (p *Problem) Cost(sol []int) int {
+	n := p.n
+	row := make([]int, n)
+	col := make([]int, n)
+	diag, anti := 0, 0
+	for pos, v := range sol {
+		r, c := pos/n, pos%n
+		row[r] += v + 1
+		col[c] += v + 1
+		if r == c {
+			diag += v + 1
+		}
+		if r+c == n-1 {
+			anti += v + 1
+		}
+	}
+	cost := abs(diag-p.magic) + abs(anti-p.magic)
+	for i := 0; i < n; i++ {
+		cost += abs(row[i]-p.magic) + abs(col[i]-p.magic)
+	}
+	return cost
+}
+
+// InitState implements csp.Incremental.
+func (p *Problem) InitState(sol []int) {
+	n := p.n
+	for i := 0; i < n; i++ {
+		p.row[i], p.col[i] = 0, 0
+	}
+	p.diag, p.anti = 0, 0
+	for pos, v := range sol {
+		r, c := pos/n, pos%n
+		p.row[r] += v + 1
+		p.col[c] += v + 1
+		if r == c {
+			p.diag += v + 1
+		}
+		if r+c == n-1 {
+			p.anti += v + 1
+		}
+	}
+}
+
+// lineDelta returns the cost change of one line sum moving by delta.
+func (p *Problem) lineDelta(sum, delta int) int {
+	return abs(sum+delta-p.magic) - abs(sum-p.magic)
+}
+
+// CostIfSwap implements csp.Incremental.
+func (p *Problem) CostIfSwap(sol []int, cost, i, j int) int {
+	n := p.n
+	ri, ci := i/n, i%n
+	rj, cj := j/n, j%n
+	di := sol[j] - sol[i] // value change at position i
+	if di == 0 {
+		return cost
+	}
+	if ri != rj {
+		cost += p.lineDelta(p.row[ri], di) + p.lineDelta(p.row[rj], -di)
+	}
+	if ci != cj {
+		cost += p.lineDelta(p.col[ci], di) + p.lineDelta(p.col[cj], -di)
+	}
+	dd := 0
+	if ri == ci {
+		dd += di
+	}
+	if rj == cj {
+		dd -= di
+	}
+	if dd != 0 {
+		cost += p.lineDelta(p.diag, dd)
+	}
+	da := 0
+	if ri+ci == n-1 {
+		da += di
+	}
+	if rj+cj == n-1 {
+		da -= di
+	}
+	if da != 0 {
+		cost += p.lineDelta(p.anti, da)
+	}
+	return cost
+}
+
+// ExecutedSwap implements csp.Incremental (sol already swapped).
+func (p *Problem) ExecutedSwap(sol []int, i, j int) {
+	n := p.n
+	ri, ci := i/n, i%n
+	rj, cj := j/n, j%n
+	di := sol[i] - sol[j] // sol[i] now holds the value that was at j
+	p.row[ri] += di
+	p.row[rj] -= di
+	p.col[ci] += di
+	p.col[cj] -= di
+	if ri == ci {
+		p.diag += di
+	}
+	if rj == cj {
+		p.diag -= di
+	}
+	if ri+ci == n-1 {
+		p.anti += di
+	}
+	if rj+cj == n-1 {
+		p.anti -= di
+	}
+}
+
+// CostOnVariable implements csp.VariableCost: the deviation of every
+// line through the cell.
+func (p *Problem) CostOnVariable(sol []int, i int) int {
+	n := p.n
+	r, c := i/n, i%n
+	e := abs(p.row[r]-p.magic) + abs(p.col[c]-p.magic)
+	if r == c {
+		e += abs(p.diag - p.magic)
+	}
+	if r+c == n-1 {
+		e += abs(p.anti - p.magic)
+	}
+	return e
+}
+
+// IsSolution reports whether sol is a valid magic square.
+func (p *Problem) IsSolution(sol []int) bool {
+	return csp.Validate(p, sol) && p.Cost(sol) == 0
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,133 @@
+package problems
+
+import (
+	"testing"
+
+	"lasvegas/internal/csp"
+	"lasvegas/internal/xrand"
+)
+
+// TestIncrementalMatchesFullCost is the central property test of the
+// problem layer: for every family, CostIfSwap and ExecutedSwap must
+// stay consistent with the from-scratch Cost under random swap
+// sequences.
+func TestIncrementalMatchesFullCost(t *testing.T) {
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			size := DefaultSize(kind)
+			if kind == MagicSquare {
+				size = 5
+			}
+			p, err := New(kind, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc, ok := p.(csp.Incremental)
+			if !ok {
+				t.Fatalf("%s does not implement csp.Incremental", kind)
+			}
+			r := xrand.New(2024)
+			sol := r.Perm(p.Size())
+			inc.InitState(sol)
+			cost := p.Cost(sol)
+			for step := 0; step < 500; step++ {
+				i, j := r.Intn(len(sol)), r.Intn(len(sol))
+				if i == j {
+					continue
+				}
+				probe := inc.CostIfSwap(sol, cost, i, j)
+				// Probing must not corrupt state: a re-probe agrees.
+				if again := inc.CostIfSwap(sol, cost, i, j); again != probe {
+					t.Fatalf("step %d: CostIfSwap not idempotent: %d then %d", step, probe, again)
+				}
+				sol[i], sol[j] = sol[j], sol[i]
+				want := p.Cost(sol)
+				if probe != want {
+					t.Fatalf("step %d (i=%d j=%d): CostIfSwap=%d, full recompute=%d", step, i, j, probe, want)
+				}
+				inc.ExecutedSwap(sol, i, j)
+				cost = probe
+			}
+		})
+	}
+}
+
+// TestCostOnVariableNonNegative checks the error projection is
+// non-negative everywhere and zero everywhere on a solved state.
+func TestCostOnVariableNonNegative(t *testing.T) {
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			p, err := New(kind, DefaultSize(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			vc, ok := p.(csp.VariableCost)
+			if !ok {
+				t.Fatalf("%s does not implement csp.VariableCost", kind)
+			}
+			inc := p.(csp.Incremental)
+			r := xrand.New(7)
+			sol := r.Perm(p.Size())
+			inc.InitState(sol)
+			for i := range sol {
+				if e := vc.CostOnVariable(sol, i); e < 0 {
+					t.Errorf("variable %d has negative error %d", i, e)
+				}
+			}
+		})
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, kind := range Kinds() {
+		if _, err := New(kind, 1); err == nil {
+			t.Errorf("%s accepted size 1", kind)
+		}
+	}
+	if _, err := New(Kind("nonsense"), 10); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestPaperSizes(t *testing.T) {
+	cases := map[Kind]int{AllInterval: 700, MagicSquare: 200, Costas: 21}
+	for kind, want := range cases {
+		got, ok := PaperSize(kind)
+		if !ok || got != want {
+			t.Errorf("PaperSize(%s) = %d, %v", kind, got, ok)
+		}
+	}
+	if _, ok := PaperSize(Queens); ok {
+		t.Error("queens is not a paper benchmark")
+	}
+}
+
+func TestNamesAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, kind := range Kinds() {
+		p, err := New(kind, DefaultSize(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := p.Name()
+		if name == "" || seen[name] {
+			t.Errorf("bad or duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p, _ := New(Queens, 8)
+	if !csp.Validate(p, []int{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Error("identity permutation rejected")
+	}
+	if csp.Validate(p, []int{0, 1, 2, 3, 4, 5, 6, 6}) {
+		t.Error("repeated value accepted")
+	}
+	if csp.Validate(p, []int{0, 1, 2}) {
+		t.Error("short configuration accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package queens
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lasvegas/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3); err == nil {
+		t.Error("size 3 accepted")
+	}
+	p, err := New(8)
+	if err != nil || p.Size() != 8 || p.Name() != "queens-8" {
+		t.Fatalf("New(8): %+v, %v", p, err)
+	}
+}
+
+func TestKnownSolutionsAndConflicts(t *testing.T) {
+	p, _ := New(8)
+	if c := p.Cost([]int{0, 4, 7, 5, 2, 6, 1, 3}); c != 0 {
+		t.Errorf("known solution cost %d", c)
+	}
+	// Identity: all on the same anti-diagonal difference (i - i = 0) →
+	// 7 excess conflicts.
+	if c := p.Cost([]int{0, 1, 2, 3, 4, 5, 6, 7}); c != 7 {
+		t.Errorf("identity cost %d, want 7", c)
+	}
+	// Reverse permutation: all on the same main diagonal (i + (7-i) = 7).
+	if c := p.Cost([]int{7, 6, 5, 4, 3, 2, 1, 0}); c != 7 {
+		t.Errorf("reverse cost %d, want 7", c)
+	}
+}
+
+func TestCostIfSwapSharedDiagonals(t *testing.T) {
+	// Swaps where old and new diagonals overlap are the delicate case;
+	// sweep all pairs on a small board against full recomputation.
+	p, _ := New(6)
+	r := xrand.New(31)
+	sol := r.Perm(6)
+	p.InitState(sol)
+	cost := p.Cost(sol)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			probe := p.CostIfSwap(sol, cost, i, j)
+			sol[i], sol[j] = sol[j], sol[i]
+			if want := p.Cost(sol); probe != want {
+				t.Fatalf("swap (%d,%d): probe %d, want %d", i, j, probe, want)
+			}
+			sol[i], sol[j] = sol[j], sol[i]
+		}
+	}
+}
+
+func TestCostOnVariable(t *testing.T) {
+	p, _ := New(5)
+	sol := []int{0, 1, 2, 3, 4} // all on difference-0 anti-diagonal
+	p.InitState(sol)
+	for i := range sol {
+		if e := p.CostOnVariable(sol, i); e != 4 {
+			t.Errorf("variable %d error %d, want 4", i, e)
+		}
+	}
+}
+
+func TestIncrementalPropertyRandomWalk(t *testing.T) {
+	p, _ := New(20)
+	r := xrand.New(37)
+	sol := r.Perm(20)
+	p.InitState(sol)
+	cost := p.Cost(sol)
+	f := func(a, b uint8) bool {
+		i, j := int(a)%20, int(b)%20
+		if i == j {
+			return true
+		}
+		probe := p.CostIfSwap(sol, cost, i, j)
+		sol[i], sol[j] = sol[j], sol[i]
+		ok := probe == p.Cost(sol)
+		p.ExecutedSwap(sol, i, j)
+		cost = probe
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSolution(t *testing.T) {
+	p, _ := New(8)
+	if !p.IsSolution([]int{0, 4, 7, 5, 2, 6, 1, 3}) {
+		t.Error("valid solution rejected")
+	}
+	if p.IsSolution([]int{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Error("conflicting placement accepted")
+	}
+	if p.IsSolution([]int{0, 0, 0, 0, 0, 0, 0, 0}) {
+		t.Error("non-permutation accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package runtimes
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"lasvegas/internal/adaptive"
+	"lasvegas/internal/csp"
+	"lasvegas/internal/problems"
+)
+
+func queensFactory(size int) func() (csp.Problem, error) {
+	return func() (csp.Problem, error) { return problems.New(problems.Queens, size) }
+}
+
+func TestCollectBasics(t *testing.T) {
+	c, err := Collect(context.Background(), queensFactory(16), adaptive.Params{}, 30, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Runs != 30 || len(c.Iterations) != 30 || len(c.Seconds) != 30 {
+		t.Fatalf("campaign shape: %+v", c)
+	}
+	if c.Problem != "queens-16" {
+		t.Errorf("problem name %q", c.Problem)
+	}
+	for i, it := range c.Iterations {
+		if it <= 0 {
+			t.Errorf("run %d has %v iterations", i, it)
+		}
+		if c.Seconds[i] < 0 {
+			t.Errorf("run %d has negative seconds", i)
+		}
+	}
+}
+
+func TestCollectDeterministicIterations(t *testing.T) {
+	// Iteration counts must be identical across collections with the
+	// same seed, regardless of worker count (scheduling-independent).
+	c1, err := Collect(context.Background(), queensFactory(14), adaptive.Params{}, 20, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Collect(context.Background(), queensFactory(14), adaptive.Params{}, 20, 99, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c1.Iterations {
+		if c1.Iterations[i] != c2.Iterations[i] {
+			t.Fatalf("run %d: %v vs %v iterations across worker counts", i, c1.Iterations[i], c2.Iterations[i])
+		}
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	if _, err := Collect(context.Background(), nil, adaptive.Params{}, 5, 1, 1); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := Collect(context.Background(), queensFactory(8), adaptive.Params{}, 0, 1, 1); err == nil {
+		t.Error("0 runs accepted")
+	}
+}
+
+func TestCollectPropagatesBudgetFailure(t *testing.T) {
+	// An impossible budget must surface as an error, not hang.
+	factory := func() (csp.Problem, error) { return problems.New(problems.Costas, 15) }
+	_, err := Collect(context.Background(), factory, adaptive.Params{MaxIterations: 10}, 4, 1, 2)
+	if err == nil {
+		t.Error("budget exhaustion not propagated")
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	c := &Campaign{
+		Problem:    "synthetic",
+		Runs:       4,
+		Iterations: []float64{10, 20, 30, 100},
+		Seconds:    []float64{0.1, 0.2, 0.3, 1.0},
+	}
+	it := c.IterationSummary()
+	if it.Min != 10 || it.Max != 100 || it.Mean != 40 || it.Median != 25 {
+		t.Errorf("iteration summary %+v", it)
+	}
+	ts := c.TimeSummary()
+	if ts.Min != 0.1 || ts.Max != 1.0 {
+		t.Errorf("time summary %+v", ts)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	c := &Campaign{
+		Problem:    "rt",
+		Runs:       3,
+		Iterations: []float64{5, 15, 25},
+		Seconds:    []float64{0.5, 1.5, 2.5},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Runs != 3 {
+		t.Fatalf("runs %d", back.Runs)
+	}
+	for i := range c.Iterations {
+		if back.Iterations[i] != c.Iterations[i] || back.Seconds[i] != c.Seconds[i] {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("run,iterations,seconds\n")); err == nil {
+		t.Error("header-only CSV accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("run,iterations,seconds\n0,abc,1\n")); err == nil {
+		t.Error("non-numeric iterations accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "campaign.json")
+	c := &Campaign{
+		Problem:    "json-rt",
+		Runs:       2,
+		Seed:       77,
+		Iterations: []float64{3, 9},
+		Seconds:    []float64{0.3, 0.9},
+	}
+	if err := c.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Problem != "json-rt" || back.Seed != 77 || back.Iterations[1] != 9 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

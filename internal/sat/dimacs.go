@@ -1,0 +1,108 @@
+package sat
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DIMACS CNF input/output, the interchange format of the SAT
+// community the paper's §1 portfolio discussion refers to. Supports
+// comments, the "p cnf <vars> <clauses>" header and 0-terminated
+// clauses (possibly spanning lines).
+
+// ParseDIMACS reads a CNF formula in DIMACS format.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var f *Formula
+	var current Clause
+	declared := 0
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			if f != nil {
+				return nil, fmt.Errorf("sat: line %d: duplicate problem header", line)
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: line %d: malformed header %q", line, text)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			nc, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 1 || nc < 0 {
+				return nil, fmt.Errorf("sat: line %d: bad header numbers %q", line, text)
+			}
+			f = &Formula{NumVars: nv, Clauses: make([]Clause, 0, nc)}
+			declared = nc
+			continue
+		}
+		if f == nil {
+			return nil, fmt.Errorf("sat: line %d: clause before header", line)
+		}
+		for _, tok := range strings.Fields(text) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: line %d: bad literal %q", line, tok)
+			}
+			if v == 0 {
+				if len(current) == 0 {
+					return nil, fmt.Errorf("sat: line %d: empty clause", line)
+				}
+				f.Clauses = append(f.Clauses, current)
+				current = nil
+				continue
+			}
+			current = append(current, Literal(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, errors.New("sat: no problem header found")
+	}
+	if len(current) > 0 {
+		// Tolerate a final clause without its 0 terminator (common in
+		// the wild).
+		f.Clauses = append(f.Clauses, current)
+	}
+	if declared != 0 && len(f.Clauses) != declared {
+		return nil, fmt.Errorf("sat: header declares %d clauses, found %d", declared, len(f.Clauses))
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// WriteDIMACS emits the formula in DIMACS CNF format.
+func WriteDIMACS(w io.Writer, f *Formula) error {
+	if f == nil {
+		return errors.New("sat: nil formula")
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, lit := range c {
+			if _, err := fmt.Fprintf(bw, "%d ", lit); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

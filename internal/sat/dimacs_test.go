@@ -1,0 +1,107 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lasvegas/internal/xrand"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	in := `c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 2 {
+		t.Fatalf("parsed %d vars, %d clauses", f.NumVars, len(f.Clauses))
+	}
+	if f.Clauses[0][1] != -2 {
+		t.Errorf("clause 0: %v", f.Clauses[0])
+	}
+}
+
+func TestParseDIMACSMultiLineClause(t *testing.T) {
+	in := "p cnf 4 1\n1 2\n3 -4 0\n"
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 1 || len(f.Clauses[0]) != 4 {
+		t.Fatalf("clauses %v", f.Clauses)
+	}
+}
+
+func TestParseDIMACSMissingFinalTerminator(t *testing.T) {
+	in := "p cnf 2 2\n1 2 0\n-1 -2\n"
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 2 {
+		t.Fatalf("clauses %v", f.Clauses)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	bad := []string{
+		"",                       // no header
+		"1 2 0\n",                // clause before header
+		"p cnf 2 1\np cnf 2 1\n", // duplicate header
+		"p dnf 2 1\n1 0\n",       // wrong format word
+		"p cnf 0 1\n1 0\n",       // zero vars
+		"p cnf 2 1\nx y 0\n",     // non-numeric literal
+		"p cnf 2 1\n0\n",         // empty clause
+		"p cnf 2 3\n1 0\n",       // clause count mismatch
+		"p cnf 2 1\n3 0\n",       // literal out of range
+	}
+	for i, in := range bad {
+		if _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	r := xrand.New(9)
+	f, _, err := RandomPlantedKSAT(25, 100, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVars != f.NumVars || len(back.Clauses) != len(f.Clauses) {
+		t.Fatalf("round trip changed shape")
+	}
+	for i := range f.Clauses {
+		if len(back.Clauses[i]) != len(f.Clauses[i]) {
+			t.Fatalf("clause %d length changed", i)
+		}
+		for j := range f.Clauses[i] {
+			if back.Clauses[i][j] != f.Clauses[i][j] {
+				t.Fatalf("clause %d literal %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestWriteDIMACSValidation(t *testing.T) {
+	if err := WriteDIMACS(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil formula accepted")
+	}
+	badF := &Formula{NumVars: 1, Clauses: []Clause{{5}}}
+	if err := WriteDIMACS(&bytes.Buffer{}, badF); err == nil {
+		t.Error("invalid formula accepted")
+	}
+}

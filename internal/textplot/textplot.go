@@ -1,0 +1,160 @@
+// Package textplot renders the paper's figures as terminal plots:
+// density histograms with fitted-PDF overlays (Figures 8, 10, 12),
+// families of density curves (Figures 1, 2, 4) and speed-up line
+// charts (Figures 3, 5, 6, 7, 9, 11, 13, 14). Every chart is plain
+// text so experiments remain reproducible over SSH and in CI logs;
+// the experiment harness pairs each plot with CSV series for real
+// plotting tools.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// defaultMarkers cycles when a series has no explicit marker.
+var defaultMarkers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '~'}
+
+// Chart renders the series on a w×h character grid with axis labels.
+// X and Y ranges are computed from the data; NaN/Inf points are
+// skipped. It returns a multi-line string ending in a legend.
+func Chart(title string, series []Series, w, h int) string {
+	if w < 20 {
+		w = 20
+	}
+	if h < 5 {
+		h = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if bad(x) || bad(y) {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX || minY > maxY {
+		return title + "\n(no finite data)\n"
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if bad(x) || bad(y) {
+				continue
+			}
+			cx := int((x - minX) / (maxX - minX) * float64(w-1))
+			cy := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+			grid[cy][cx] = marker
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for r, row := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.4g", maxY)
+		case h - 1:
+			label = fmt.Sprintf("%10.4g", minY)
+		default:
+			label = strings.Repeat(" ", 10)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", 10), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", 10), w/2, minX, w-w/2, maxX)
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", 10), marker, s.Name)
+	}
+	return b.String()
+}
+
+// HistogramWithOverlay renders a horizontal-bar density histogram
+// with an optional fitted-density overlay (the paper's Figures 8, 10,
+// 12: observed iteration histogram in "blue", fitted law in "red" —
+// here bars and a '·' marker column).
+func HistogramWithOverlay(title string, centers, densities []float64, overlay func(float64) float64, width int) string {
+	if width < 20 {
+		width = 40
+	}
+	maxD := 0.0
+	for i, d := range densities {
+		maxD = math.Max(maxD, d)
+		if overlay != nil {
+			maxD = math.Max(maxD, overlay(centers[i]))
+		}
+	}
+	if maxD <= 0 {
+		return title + "\n(empty histogram)\n"
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, c := range centers {
+		bar := int(densities[i] / maxD * float64(width))
+		line := []byte(strings.Repeat("█", bar) + strings.Repeat(" ", width-bar))
+		if overlay != nil {
+			pos := int(overlay(c) / maxD * float64(width))
+			if pos >= width {
+				pos = width - 1
+			}
+			if pos >= 0 {
+				// overlay marker, visible on top of bars
+				line = append(line[:pos], append([]byte("·"), line[pos+1:]...)...)
+			}
+		}
+		fmt.Fprintf(&b, "%12.5g |%s\n", c, line)
+	}
+	fmt.Fprintf(&b, "%12s  (bars: observed density%s)\n", "",
+		map[bool]string{true: ", ·: fitted density", false: ""}[overlay != nil])
+	return b.String()
+}
+
+// CSV renders the series as a CSV block: x, then one column per
+// series (aligned by index; series must share X grids or be emitted
+// separately).
+func CSV(series []Series) string {
+	var b strings.Builder
+	b.WriteString("series,x,y\n")
+	for _, s := range series {
+		for i := range s.X {
+			fmt.Fprintf(&b, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+func bad(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }

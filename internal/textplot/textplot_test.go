@@ -1,0 +1,103 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasic(t *testing.T) {
+	s := []Series{
+		{Name: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "flat", X: []float64{0, 1, 2, 3}, Y: []float64{1, 1, 1, 1}},
+	}
+	out := Chart("title", s, 40, 10)
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "linear") || !strings.Contains(out, "flat") {
+		t.Error("missing legend entries")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing first-series marker")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartSkipsNonFinite(t *testing.T) {
+	s := []Series{{
+		Name: "spiky",
+		X:    []float64{0, 1, 2},
+		Y:    []float64{1, math.Inf(1), math.NaN()},
+	}}
+	out := Chart("x", s, 30, 8)
+	if !strings.Contains(out, "spiky") {
+		t.Error("series with partial bad data should still render")
+	}
+}
+
+func TestChartNoData(t *testing.T) {
+	out := Chart("empty", []Series{{Name: "none"}}, 30, 8)
+	if !strings.Contains(out, "no finite data") {
+		t.Errorf("empty chart: %q", out)
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Single point: must not divide by zero.
+	out := Chart("pt", []Series{{Name: "p", X: []float64{5}, Y: []float64{7}}}, 30, 8)
+	if strings.Contains(out, "NaN") {
+		t.Error("degenerate chart produced NaN")
+	}
+}
+
+func TestChartCustomMarkers(t *testing.T) {
+	s := []Series{{Name: "m", X: []float64{0, 1}, Y: []float64{0, 1}, Marker: 'Q'}}
+	if out := Chart("", s, 30, 8); !strings.Contains(out, "Q") {
+		t.Error("custom marker not used")
+	}
+}
+
+func TestHistogramWithOverlay(t *testing.T) {
+	centers := []float64{1, 2, 3}
+	densities := []float64{0.1, 0.5, 0.2}
+	out := HistogramWithOverlay("h", centers, densities, func(x float64) float64 { return 0.3 }, 30)
+	if !strings.Contains(out, "█") {
+		t.Error("missing bars")
+	}
+	if !strings.Contains(out, "·") {
+		t.Error("missing overlay markers")
+	}
+	if !strings.Contains(out, "fitted density") {
+		t.Error("missing overlay caption")
+	}
+}
+
+func TestHistogramWithoutOverlay(t *testing.T) {
+	out := HistogramWithOverlay("h", []float64{1}, []float64{0.4}, nil, 30)
+	if strings.Contains(out, "fitted density") {
+		t.Error("overlay caption without overlay")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	out := HistogramWithOverlay("h", nil, nil, nil, 30)
+	if !strings.Contains(out, "empty histogram") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Name: "b", X: []float64{1}, Y: []float64{5}},
+	}
+	out := CSV(s)
+	want := "series,x,y\na,1,10\na,2,20\nb,1,5\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}

@@ -1,0 +1,195 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c0 := parent.Split(0)
+	c1 := parent.Split(1)
+	c0again := parent.Split(0)
+	if c0.Uint64() != c0again.Uint64() {
+		t.Fatal("Split is not deterministic for equal indices")
+	}
+	if c0.Uint64() == c1.Uint64() {
+		t.Fatal("sibling streams coincide")
+	}
+}
+
+func TestSplitDoesNotDisturbParent(t *testing.T) {
+	a, b := New(9), New(9)
+	_ = a.Split(3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent stream")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		u := r.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", u)
+		}
+	}
+}
+
+func TestFloat64OpenPositive(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 100000; i++ {
+		if u := r.Float64Open(); u <= 0 || u >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", u)
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := draws / n
+	for v, c := range counts {
+		if math.Abs(float64(c-want)) > 5*math.Sqrt(float64(want)) {
+			t.Errorf("value %d drawn %d times, want ≈%d", v, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(6)
+	for trial := 0; trial < 50; trial++ {
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				t.Fatalf("not a permutation: %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(8)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("first element %d frequency %d, want ≈%.0f", v, c, want)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(10)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	vari := sum2/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean %v, want ≈0", mean)
+	}
+	if math.Abs(vari-1) > 0.02 {
+		t.Errorf("normal variance %v, want ≈1", vari)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Exp()
+		if x < 0 {
+			t.Fatalf("negative exponential variate %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.01 {
+		t.Errorf("exponential mean %v, want ≈1", mean)
+	}
+}
+
+func TestUint64BitBalance(t *testing.T) {
+	r := New(12)
+	var ones [64]int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Uint64()
+		for b := 0; b < 64; b++ {
+			if v&(1<<uint(b)) != 0 {
+				ones[b]++
+			}
+		}
+	}
+	for b, c := range ones {
+		if math.Abs(float64(c)-n/2) > 5*math.Sqrt(n/4) {
+			t.Errorf("bit %d set %d/%d times", b, c, n)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Norm()
+	}
+	_ = sink
+}
