@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test test-short bench bench-smoke
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Record the benchmark baseline (BENCH_1.txt + BENCH_1.json).
+bench:
+	sh scripts/bench.sh 1 1x
+
+# The CI smoke pass: ablation benches only, one iteration each.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=BenchmarkAblation -benchtime=1x ./...

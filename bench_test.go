@@ -141,6 +141,32 @@ func BenchmarkAblationIncrementalCost(b *testing.B) {
 	b.Run("full-recompute-swaps", func(b *testing.B) { solve(b, true) })
 }
 
+// BenchmarkAblationMinResampling compares the two Z(n) simulation
+// engines at the acceptance point of the Figure-14 regime: n=8192
+// walkers, 3000 repetitions on a 4000-observation pool. The
+// inverse-CDF engine is O(m log m + reps); the brute engine is
+// O(n·reps) — the gap is the whole point of the quantile-domain fast
+// path.
+func BenchmarkAblationMinResampling(b *testing.B) {
+	truth := paperdata.FittedCostas21()
+	pool := dist.SampleN(truth, xrand.New(1), 4000)
+	const n, reps = 8192, 3000
+	b.Run("inverse-cdf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := multiwalk.Simulate(pool, n, reps, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("brute-min-of-n", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := multiwalk.SimulateBrute(pool, n, reps, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAblationRealVsSimulatedWalk compares one multi-walk
 // measurement through the real goroutine engine and through
 // min-resampling, at 4 walkers on queens-20.

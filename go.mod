@@ -1,0 +1,3 @@
+module lasvegas
+
+go 1.24

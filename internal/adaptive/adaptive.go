@@ -217,11 +217,14 @@ func (s *Solver) RunContext(ctx context.Context, r *xrand.Rand) Result {
 	}
 }
 
-// restart draws a fresh uniform permutation and rebuilds state.
+// restart draws a fresh uniform permutation and rebuilds state. The
+// shuffle runs in place on s.sol (identical stream consumption to
+// xrand.Perm, without its allocation).
 func (s *Solver) restart(r *xrand.Rand, st *Stats) {
-	n := s.p.Size()
-	perm := r.Perm(n)
-	copy(s.sol, perm)
+	for i := range s.sol {
+		s.sol[i] = i
+	}
+	r.Shuffle(s.sol)
 	s.initState()
 	for i := range s.tabu {
 		s.tabu[i] = 0

@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"lasvegas/internal/specfn"
+	"lasvegas/internal/xrand"
+)
+
+// Beta is the beta law B(Alpha, BetaP) affinely mapped onto [Lo, Hi].
+// Its role here is structural: the k-th of n uniform order statistics
+// is Beta(k, n-k+1), so internal/orderstat samples arbitrary order
+// statistics by pushing a beta draw through the base quantile.
+type Beta struct {
+	Alpha float64 // α > 0
+	BetaP float64 // β > 0 (named to avoid clashing with the type)
+	Lo    float64
+	Hi    float64
+}
+
+// NewBeta validates α, β > 0 and Lo < Hi.
+func NewBeta(alpha, betaP, lo, hi float64) (Beta, error) {
+	if !(alpha > 0) || !(betaP > 0) || math.IsInf(alpha, 0) || math.IsInf(betaP, 0) {
+		return Beta{}, fmt.Errorf("%w: Beta(α=%v, β=%v)", ErrParam, alpha, betaP)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || !(lo < hi) {
+		return Beta{}, fmt.Errorf("%w: beta on [%v, %v]", ErrParam, lo, hi)
+	}
+	return Beta{Alpha: alpha, BetaP: betaP, Lo: lo, Hi: hi}, nil
+}
+
+// unit maps x into the unit interval.
+func (d Beta) unit(x float64) float64 { return (x - d.Lo) / (d.Hi - d.Lo) }
+
+// CDF implements Dist via the regularized incomplete beta.
+func (d Beta) CDF(x float64) float64 {
+	u := d.unit(x)
+	if u <= 0 {
+		return 0
+	}
+	if u >= 1 {
+		return 1
+	}
+	return specfn.BetaInc(d.Alpha, d.BetaP, u)
+}
+
+// PDF implements Dist (log-space).
+func (d Beta) PDF(x float64) float64 {
+	u := d.unit(x)
+	if u < 0 || u > 1 {
+		return 0
+	}
+	w := d.Hi - d.Lo
+	if u == 0 || u == 1 {
+		// Density diverges or vanishes at the edges depending on the
+		// exponents; report the limit.
+		if (u == 0 && d.Alpha < 1) || (u == 1 && d.BetaP < 1) {
+			return math.Inf(1)
+		}
+		if (u == 0 && d.Alpha > 1) || (u == 1 && d.BetaP > 1) {
+			return 0
+		}
+	}
+	la, _ := math.Lgamma(d.Alpha)
+	lb, _ := math.Lgamma(d.BetaP)
+	lab, _ := math.Lgamma(d.Alpha + d.BetaP)
+	logPDF := lab - la - lb + (d.Alpha-1)*math.Log(u) + (d.BetaP-1)*math.Log1p(-u)
+	return math.Exp(logPDF) / w
+}
+
+// Quantile implements Dist by numeric inversion of BetaInc.
+func (d Beta) Quantile(p float64) float64 {
+	if p <= 0 {
+		return d.Lo
+	}
+	if p >= 1 {
+		return d.Hi
+	}
+	cdf := func(u float64) float64 { return specfn.BetaInc(d.Alpha, d.BetaP, u) }
+	u := quantileByInversion(cdf, nil, p, 0, 1)
+	return d.Lo + u*(d.Hi-d.Lo)
+}
+
+// Mean implements Dist: Lo + (Hi-Lo)·α/(α+β).
+func (d Beta) Mean() float64 {
+	return d.Lo + (d.Hi-d.Lo)*d.Alpha/(d.Alpha+d.BetaP)
+}
+
+// Var implements Dist.
+func (d Beta) Var() float64 {
+	s := d.Alpha + d.BetaP
+	w := d.Hi - d.Lo
+	return w * w * d.Alpha * d.BetaP / (s * s * (s + 1))
+}
+
+// Sample implements Dist via two gamma draws: G(α)/(G(α)+G(β)).
+func (d Beta) Sample(r *xrand.Rand) float64 {
+	ga := sampleGamma(r, d.Alpha)
+	gb := sampleGamma(r, d.BetaP)
+	return d.Lo + (d.Hi-d.Lo)*ga/(ga+gb)
+}
+
+// Support implements Dist.
+func (d Beta) Support() (float64, float64) { return d.Lo, d.Hi }
+
+// String implements Dist.
+func (d Beta) String() string {
+	if d.Lo == 0 && d.Hi == 1 {
+		return fmt.Sprintf("Beta(α=%.6g, β=%.6g)", d.Alpha, d.BetaP)
+	}
+	return fmt.Sprintf("Beta(α=%.6g, β=%.6g on [%.6g, %.6g])", d.Alpha, d.BetaP, d.Lo, d.Hi)
+}

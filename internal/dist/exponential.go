@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"lasvegas/internal/xrand"
+)
+
+// ShiftedExponential is the paper's §6.1 workhorse: the exponential
+// law translated to a minimal runtime x0 ("even the luckiest run
+// costs x0 iterations"). Shift = 0 gives the plain exponential, the
+// memoryless case with exactly linear predicted speed-up (§3.3).
+//
+//	F(x) = 1 - exp(-Rate·(x - Shift))   for x >= Shift.
+type ShiftedExponential struct {
+	Shift float64 // x0, the paper's minimal runtime (>= 0)
+	Rate  float64 // λ > 0
+}
+
+// NewShiftedExponential validates x0 >= 0 and λ > 0.
+func NewShiftedExponential(shift, rate float64) (ShiftedExponential, error) {
+	if !(shift >= 0) || math.IsInf(shift, 0) {
+		return ShiftedExponential{}, fmt.Errorf("%w: shift x0=%v", ErrParam, shift)
+	}
+	if !(rate > 0) || math.IsInf(rate, 0) {
+		return ShiftedExponential{}, fmt.Errorf("%w: rate λ=%v", ErrParam, rate)
+	}
+	return ShiftedExponential{Shift: shift, Rate: rate}, nil
+}
+
+// NewExponential returns the unshifted exponential with rate λ — the
+// paper's Costas 21 fit, kept in the shifted family so the predictor's
+// closed forms apply uniformly.
+func NewExponential(rate float64) (ShiftedExponential, error) {
+	return NewShiftedExponential(0, rate)
+}
+
+// CDF implements Dist.
+func (d ShiftedExponential) CDF(x float64) float64 {
+	if x <= d.Shift {
+		return 0
+	}
+	return -math.Expm1(-d.Rate * (x - d.Shift))
+}
+
+// PDF implements Dist.
+func (d ShiftedExponential) PDF(x float64) float64 {
+	if x < d.Shift {
+		return 0
+	}
+	return d.Rate * math.Exp(-d.Rate*(x-d.Shift))
+}
+
+// Quantile implements Dist: Q(p) = x0 - ln(1-p)/λ.
+func (d ShiftedExponential) Quantile(p float64) float64 {
+	if p <= 0 {
+		return d.Shift
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return d.Shift - math.Log1p(-p)/d.Rate
+}
+
+// Mean implements Dist: x0 + 1/λ.
+func (d ShiftedExponential) Mean() float64 { return d.Shift + 1/d.Rate }
+
+// Var implements Dist: 1/λ².
+func (d ShiftedExponential) Var() float64 { return 1 / (d.Rate * d.Rate) }
+
+// Sample implements Dist.
+func (d ShiftedExponential) Sample(r *xrand.Rand) float64 {
+	return d.Shift + r.Exp()/d.Rate
+}
+
+// Support implements Dist.
+func (d ShiftedExponential) Support() (float64, float64) {
+	return d.Shift, math.Inf(1)
+}
+
+// String implements Dist.
+func (d ShiftedExponential) String() string {
+	if d.Shift == 0 {
+		return fmt.Sprintf("Exp(λ=%.6g)", d.Rate)
+	}
+	return fmt.Sprintf("ShiftedExp(x0=%.6g, λ=%.6g)", d.Shift, d.Rate)
+}
+
+// MinDist returns the exact law of min(X₁..Xₙ): the shifted
+// exponential is min-stable, Z(n) ~ ShiftedExp(x0, n·λ) — the closed
+// form behind the paper's G(n) = (x0+1/λ)/(x0+1/(nλ)).
+func (d ShiftedExponential) MinDist(n int) ShiftedExponential {
+	return ShiftedExponential{Shift: d.Shift, Rate: float64(n) * d.Rate}
+}

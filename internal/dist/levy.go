@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"lasvegas/internal/specfn"
+	"lasvegas/internal/xrand"
+)
+
+// Levy is the Lévy stable law with index 1/2 — the heavy-tailed
+// family the paper reports testing and rejecting. Its mean is
+// infinite, so no finite multi-walk speed-up prediction exists for
+// it; the predictor rejects it explicitly, and the restart analysis
+// uses it as the textbook case where cutoffs help unboundedly.
+//
+//	F(x) = erfc(√(C / (2(x - Loc))))   for x > Loc.
+type Levy struct {
+	Loc float64 // location μ (left support edge)
+	C   float64 // scale c > 0
+}
+
+// NewLevy validates c > 0.
+func NewLevy(loc, c float64) (Levy, error) {
+	if math.IsNaN(loc) || math.IsInf(loc, 0) {
+		return Levy{}, fmt.Errorf("%w: location %v", ErrParam, loc)
+	}
+	if !(c > 0) || math.IsInf(c, 0) {
+		return Levy{}, fmt.Errorf("%w: scale c=%v", ErrParam, c)
+	}
+	return Levy{Loc: loc, C: c}, nil
+}
+
+// CDF implements Dist.
+func (d Levy) CDF(x float64) float64 {
+	if x <= d.Loc {
+		return 0
+	}
+	return math.Erfc(math.Sqrt(d.C / (2 * (x - d.Loc))))
+}
+
+// PDF implements Dist.
+func (d Levy) PDF(x float64) float64 {
+	if x <= d.Loc {
+		return 0
+	}
+	t := x - d.Loc
+	return math.Sqrt(d.C/(2*math.Pi)) * math.Exp(-d.C/(2*t)) / math.Pow(t, 1.5)
+}
+
+// Quantile implements Dist: Q(p) = μ + c / (2·erfcinv(p)²).
+func (d Levy) Quantile(p float64) float64 {
+	if p <= 0 {
+		return d.Loc
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	e := specfn.ErfInv(1 - p) // erfc⁻¹(p)
+	return d.Loc + d.C/(2*e*e)
+}
+
+// Mean implements Dist: +Inf (the defining pathology).
+func (d Levy) Mean() float64 { return math.Inf(1) }
+
+// Var implements Dist: +Inf.
+func (d Levy) Var() float64 { return math.Inf(1) }
+
+// Sample implements Dist: if Z ~ N(0,1) then μ + c/Z² ~ Lévy(μ, c).
+func (d Levy) Sample(r *xrand.Rand) float64 {
+	for {
+		z := r.Norm()
+		if z != 0 {
+			return d.Loc + d.C/(z*z)
+		}
+	}
+}
+
+// Support implements Dist.
+func (d Levy) Support() (float64, float64) { return d.Loc, math.Inf(1) }
+
+// String implements Dist.
+func (d Levy) String() string {
+	return fmt.Sprintf("Levy(μ=%.6g, c=%.6g)", d.Loc, d.C)
+}

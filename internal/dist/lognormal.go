@@ -1,0 +1,91 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"lasvegas/internal/specfn"
+	"lasvegas/internal/xrand"
+)
+
+// invSqrt2 = 1/√2, used by the erf-based normal CDFs.
+const invSqrt2 = 1 / math.Sqrt2
+
+// LogNormal is the (optionally shifted) lognormal law of the paper's
+// §6.2 MAGIC-SQUARE fit: log(X - Shift) ~ N(Mu, Sigma²).
+type LogNormal struct {
+	Shift float64 // x0 >= 0
+	Mu    float64 // mean of the log
+	Sigma float64 // std-dev of the log, > 0
+}
+
+// NewLogNormal validates x0 >= 0 and σ > 0.
+func NewLogNormal(shift, mu, sigma float64) (LogNormal, error) {
+	if !(shift >= 0) || math.IsInf(shift, 0) {
+		return LogNormal{}, fmt.Errorf("%w: shift x0=%v", ErrParam, shift)
+	}
+	if math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return LogNormal{}, fmt.Errorf("%w: μ=%v", ErrParam, mu)
+	}
+	if !(sigma > 0) || math.IsInf(sigma, 0) {
+		return LogNormal{}, fmt.Errorf("%w: σ=%v", ErrParam, sigma)
+	}
+	return LogNormal{Shift: shift, Mu: mu, Sigma: sigma}, nil
+}
+
+// CDF implements Dist: Φ((ln(x-x0)-μ)/σ).
+func (d LogNormal) CDF(x float64) float64 {
+	if x <= d.Shift {
+		return 0
+	}
+	z := (math.Log(x-d.Shift) - d.Mu) / d.Sigma
+	return 0.5 * math.Erfc(-z*invSqrt2)
+}
+
+// PDF implements Dist.
+func (d LogNormal) PDF(x float64) float64 {
+	if x <= d.Shift {
+		return 0
+	}
+	t := x - d.Shift
+	z := (math.Log(t) - d.Mu) / d.Sigma
+	return math.Exp(-0.5*z*z) / (t * d.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// Quantile implements Dist: x0 + exp(μ + σ·Φ⁻¹(p)).
+func (d LogNormal) Quantile(p float64) float64 {
+	if p <= 0 {
+		return d.Shift
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return d.Shift + math.Exp(d.Mu+d.Sigma*specfn.NormQuantile(p))
+}
+
+// Mean implements Dist: x0 + exp(μ + σ²/2).
+func (d LogNormal) Mean() float64 {
+	return d.Shift + math.Exp(d.Mu+0.5*d.Sigma*d.Sigma)
+}
+
+// Var implements Dist: (exp(σ²)-1)·exp(2μ+σ²).
+func (d LogNormal) Var() float64 {
+	s2 := d.Sigma * d.Sigma
+	return math.Expm1(s2) * math.Exp(2*d.Mu+s2)
+}
+
+// Sample implements Dist.
+func (d LogNormal) Sample(r *xrand.Rand) float64 {
+	return d.Shift + math.Exp(d.Mu+d.Sigma*r.Norm())
+}
+
+// Support implements Dist.
+func (d LogNormal) Support() (float64, float64) { return d.Shift, math.Inf(1) }
+
+// String implements Dist.
+func (d LogNormal) String() string {
+	if d.Shift == 0 {
+		return fmt.Sprintf("LogNormal(μ=%.6g, σ=%.6g)", d.Mu, d.Sigma)
+	}
+	return fmt.Sprintf("ShiftedLogNormal(x0=%.6g, μ=%.6g, σ=%.6g)", d.Shift, d.Mu, d.Sigma)
+}

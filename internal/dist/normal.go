@@ -1,0 +1,162 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"lasvegas/internal/specfn"
+	"lasvegas/internal/xrand"
+)
+
+// Normal is the gaussian law — the family the paper reports testing
+// and rejecting for runtime samples ("we also tested gaussian ... and
+// got negative results", §6).
+type Normal struct {
+	Mu    float64
+	Sigma float64 // > 0
+}
+
+// NewNormal validates σ > 0.
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return Normal{}, fmt.Errorf("%w: μ=%v", ErrParam, mu)
+	}
+	if !(sigma > 0) || math.IsInf(sigma, 0) {
+		return Normal{}, fmt.Errorf("%w: σ=%v", ErrParam, sigma)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// CDF implements Dist.
+func (d Normal) CDF(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-d.Mu)/d.Sigma*invSqrt2)
+}
+
+// PDF implements Dist.
+func (d Normal) PDF(x float64) float64 {
+	z := (x - d.Mu) / d.Sigma
+	return math.Exp(-0.5*z*z) / (d.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// Quantile implements Dist.
+func (d Normal) Quantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return d.Mu + d.Sigma*specfn.NormQuantile(p)
+}
+
+// Mean implements Dist.
+func (d Normal) Mean() float64 { return d.Mu }
+
+// Var implements Dist.
+func (d Normal) Var() float64 { return d.Sigma * d.Sigma }
+
+// Sample implements Dist.
+func (d Normal) Sample(r *xrand.Rand) float64 { return d.Mu + d.Sigma*r.Norm() }
+
+// Support implements Dist.
+func (d Normal) Support() (float64, float64) {
+	return math.Inf(-1), math.Inf(1)
+}
+
+// String implements Dist.
+func (d Normal) String() string {
+	return fmt.Sprintf("Normal(μ=%.6g, σ=%.6g)", d.Mu, d.Sigma)
+}
+
+// TruncatedNormal is a gaussian cut below Lo and renormalized — the
+// paper's Figure 1 uses N(30, 10) "cut on R⁻" so runtimes stay
+// non-negative. Only lower truncation is supported; that is the only
+// variant a runtime distribution needs.
+type TruncatedNormal struct {
+	Mu    float64
+	Sigma float64 // > 0
+	Lo    float64 // truncation point (all mass lies in [Lo, ∞))
+
+	// precomputed renormalization: alpha = (Lo-Mu)/Sigma and the
+	// surviving mass 1 - Φ(alpha).
+	alpha float64
+	mass  float64
+}
+
+// NewTruncatedNormal builds the lower-truncated gaussian.
+func NewTruncatedNormal(mu, sigma, lo float64) (TruncatedNormal, error) {
+	if _, err := NewNormal(mu, sigma); err != nil {
+		return TruncatedNormal{}, err
+	}
+	if math.IsNaN(lo) || math.IsInf(lo, 0) {
+		return TruncatedNormal{}, fmt.Errorf("%w: truncation at %v", ErrParam, lo)
+	}
+	alpha := (lo - mu) / sigma
+	mass := 0.5 * math.Erfc(alpha*invSqrt2) // 1 - Φ(alpha)
+	if !(mass > 0) {
+		return TruncatedNormal{}, fmt.Errorf("%w: truncation at %v removes all mass", ErrParam, lo)
+	}
+	return TruncatedNormal{Mu: mu, Sigma: sigma, Lo: lo, alpha: alpha, mass: mass}, nil
+}
+
+// CDF implements Dist.
+func (d TruncatedNormal) CDF(x float64) float64 {
+	if x <= d.Lo {
+		return 0
+	}
+	z := (x - d.Mu) / d.Sigma
+	phi := 0.5 * math.Erfc(-z*invSqrt2)
+	phiLo := 1 - d.mass
+	return (phi - phiLo) / d.mass
+}
+
+// PDF implements Dist.
+func (d TruncatedNormal) PDF(x float64) float64 {
+	if x < d.Lo {
+		return 0
+	}
+	z := (x - d.Mu) / d.Sigma
+	return math.Exp(-0.5*z*z) / (d.Sigma * math.Sqrt(2*math.Pi) * d.mass)
+}
+
+// Quantile implements Dist.
+func (d TruncatedNormal) Quantile(p float64) float64 {
+	if p <= 0 {
+		return d.Lo
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	phiLo := 1 - d.mass
+	return d.Mu + d.Sigma*specfn.NormQuantile(phiLo+p*d.mass)
+}
+
+// Mean implements Dist: μ + σ·φ(α)/(1-Φ(α)).
+func (d TruncatedNormal) Mean() float64 {
+	return d.Mu + d.Sigma*d.hazard()
+}
+
+// Var implements Dist: σ²·(1 + α·h - h²) with h the hazard φ(α)/(1-Φ(α)).
+func (d TruncatedNormal) Var() float64 {
+	h := d.hazard()
+	return d.Sigma * d.Sigma * (1 + d.alpha*h - h*h)
+}
+
+// hazard returns φ(α)/(1-Φ(α)), the inverse Mills ratio at the cut.
+func (d TruncatedNormal) hazard() float64 {
+	phi := math.Exp(-0.5*d.alpha*d.alpha) / math.Sqrt(2*math.Pi)
+	return phi / d.mass
+}
+
+// Sample implements Dist by inverse-CDF (exact, rejection-free).
+func (d TruncatedNormal) Sample(r *xrand.Rand) float64 {
+	return d.Quantile(r.Float64Open())
+}
+
+// Support implements Dist.
+func (d TruncatedNormal) Support() (float64, float64) { return d.Lo, math.Inf(1) }
+
+// String implements Dist.
+func (d TruncatedNormal) String() string {
+	return fmt.Sprintf("TruncNormal(μ=%.6g, σ=%.6g, cut=%.6g)", d.Mu, d.Sigma, d.Lo)
+}

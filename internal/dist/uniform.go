@@ -1,0 +1,75 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"lasvegas/internal/xrand"
+)
+
+// Uniform is the continuous uniform law on [Lo, Hi]; its order
+// statistics have textbook closed forms, making it the reference
+// family for validating the order-statistic layer.
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform validates Lo < Hi.
+func NewUniform(lo, hi float64) (Uniform, error) {
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) || !(lo < hi) {
+		return Uniform{}, fmt.Errorf("%w: uniform on [%v, %v]", ErrParam, lo, hi)
+	}
+	return Uniform{Lo: lo, Hi: hi}, nil
+}
+
+// CDF implements Dist.
+func (d Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= d.Lo:
+		return 0
+	case x >= d.Hi:
+		return 1
+	}
+	return (x - d.Lo) / (d.Hi - d.Lo)
+}
+
+// PDF implements Dist.
+func (d Uniform) PDF(x float64) float64 {
+	if x < d.Lo || x > d.Hi {
+		return 0
+	}
+	return 1 / (d.Hi - d.Lo)
+}
+
+// Quantile implements Dist.
+func (d Uniform) Quantile(p float64) float64 {
+	if p <= 0 {
+		return d.Lo
+	}
+	if p >= 1 {
+		return d.Hi
+	}
+	return d.Lo + p*(d.Hi-d.Lo)
+}
+
+// Mean implements Dist.
+func (d Uniform) Mean() float64 { return 0.5 * (d.Lo + d.Hi) }
+
+// Var implements Dist: (Hi-Lo)²/12.
+func (d Uniform) Var() float64 {
+	w := d.Hi - d.Lo
+	return w * w / 12
+}
+
+// Sample implements Dist.
+func (d Uniform) Sample(r *xrand.Rand) float64 {
+	return d.Lo + r.Float64()*(d.Hi-d.Lo)
+}
+
+// Support implements Dist.
+func (d Uniform) Support() (float64, float64) { return d.Lo, d.Hi }
+
+// String implements Dist.
+func (d Uniform) String() string {
+	return fmt.Sprintf("Uniform(%.6g, %.6g)", d.Lo, d.Hi)
+}

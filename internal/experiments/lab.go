@@ -3,8 +3,10 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"lasvegas/internal/adaptive"
 	"lasvegas/internal/csp"
@@ -31,7 +33,13 @@ type Config struct {
 	Cores []int
 	// Seed makes the whole harness deterministic (default 1).
 	Seed uint64
-	// Workers bounds campaign parallelism (default GOMAXPROCS).
+	// Workers bounds each worker pool of the harness independently:
+	// the goroutines of one live campaign (runtimes.Collect) and the
+	// number of artifacts RunAll regenerates concurrently (default
+	// GOMAXPROCS; 1 forces fully serial execution). In live mode the
+	// two levels nest, so up to Workers² goroutines can be runnable
+	// at once; GOMAXPROCS still caps the threads actually running,
+	// the nesting only adds scheduler pressure.
 	Workers int
 	// Sizes overrides the per-problem instance sizes (defaults from
 	// problems.DefaultSize; the paper's sizes via problems.PaperSize
@@ -69,18 +77,40 @@ var paperKinds = []problems.Kind{problems.MagicSquare, problems.AllInterval, pro
 
 // Lab caches live campaigns and fits across experiments so that
 // "run everything" collects each benchmark's runtimes exactly once.
+// All methods are safe for concurrent use: memoization uses per-kind
+// once-cells, so concurrent artifact generators needing the same
+// campaign block on a single collection instead of duplicating it.
 type Lab struct {
-	cfg       Config
-	campaigns map[problems.Kind]*runtimes.Campaign
-	fits      map[problems.Kind]fit.Result
+	cfg Config
+
+	mu        sync.Mutex // guards the two maps (not the cells' contents)
+	campaigns map[problems.Kind]*campaignCell
+	fits      map[problems.Kind]*fitCell
+}
+
+// campaignCell memoizes one benchmark's live campaign. Only success
+// is cached: a failed collection (e.g. a cancelled context) leaves
+// the cell empty so a later call can retry. The cell mutex also
+// serializes concurrent callers, so one collection is shared.
+type campaignCell struct {
+	mu sync.Mutex
+	c  *runtimes.Campaign
+}
+
+// fitCell memoizes one benchmark's model selection (success only,
+// like campaignCell).
+type fitCell struct {
+	mu  sync.Mutex
+	r   fit.Result
+	set bool
 }
 
 // NewLab returns a Lab with the given configuration.
 func NewLab(cfg Config) *Lab {
 	return &Lab{
 		cfg:       cfg.withDefaults(),
-		campaigns: map[problems.Kind]*runtimes.Campaign{},
-		fits:      map[problems.Kind]fit.Result{},
+		campaigns: map[problems.Kind]*campaignCell{},
+		fits:      map[problems.Kind]*fitCell{},
 	}
 }
 
@@ -112,9 +142,19 @@ func shortName(kind problems.Kind) string {
 }
 
 // Campaign returns the (cached) live sequential campaign for kind.
+// Concurrent callers share one collection.
 func (l *Lab) Campaign(ctx context.Context, kind problems.Kind) (*runtimes.Campaign, error) {
-	if c, ok := l.campaigns[kind]; ok {
-		return c, nil
+	l.mu.Lock()
+	cell, ok := l.campaigns[kind]
+	if !ok {
+		cell = &campaignCell{}
+		l.campaigns[kind] = cell
+	}
+	l.mu.Unlock()
+	cell.mu.Lock()
+	defer cell.mu.Unlock()
+	if cell.c != nil {
+		return cell.c, nil
 	}
 	size := l.cfg.Sizes[kind]
 	factory := func() (csp.Problem, error) { return problems.New(kind, size) }
@@ -122,7 +162,7 @@ func (l *Lab) Campaign(ctx context.Context, kind problems.Kind) (*runtimes.Campa
 	if err != nil {
 		return nil, fmt.Errorf("experiments: campaign %s-%d: %w", kind, size, err)
 	}
-	l.campaigns[kind] = c
+	cell.c = c
 	return c, nil
 }
 
@@ -130,8 +170,17 @@ func (l *Lab) Campaign(ctx context.Context, kind problems.Kind) (*runtimes.Campa
 // campaign of kind: candidate families exponential, shifted
 // exponential and lognormal, ranked by KS p-value.
 func (l *Lab) BestFit(ctx context.Context, kind problems.Kind) (fit.Result, error) {
-	if r, ok := l.fits[kind]; ok {
-		return r, nil
+	l.mu.Lock()
+	cell, ok := l.fits[kind]
+	if !ok {
+		cell = &fitCell{}
+		l.fits[kind] = cell
+	}
+	l.mu.Unlock()
+	cell.mu.Lock()
+	defer cell.mu.Unlock()
+	if cell.set {
+		return cell.r, nil
 	}
 	c, err := l.Campaign(ctx, kind)
 	if err != nil {
@@ -146,7 +195,8 @@ func (l *Lab) BestFit(ctx context.Context, kind problems.Kind) (fit.Result, erro
 	if best.Err != nil {
 		return fit.Result{}, fmt.Errorf("experiments: no family fitted %s: %w", kind, best.Err)
 	}
-	l.fits[kind] = best
+	cell.r = best
+	cell.set = true
 	return best, nil
 }
 
@@ -182,17 +232,67 @@ func (l *Lab) Run(ctx context.Context, id string) (*Artifact, error) {
 	return a, nil
 }
 
-// RunAll regenerates every table and figure in paper order.
+// RunAll regenerates every table and figure, returned in paper order.
+// Artifacts are generated concurrently on a worker pool bounded by
+// Config.Workers (default GOMAXPROCS): every artifact derives its
+// random streams from Config.Seed and its own identifier, so the
+// output is bit-identical to a serial run regardless of scheduling.
+// On failure the successfully generated artifacts are returned (in
+// order, with failures dropped) together with the first error in
+// paper order.
 func (l *Lab) RunAll(ctx context.Context) ([]*Artifact, error) {
-	out := make([]*Artifact, 0, len(registry))
-	for _, id := range IDs() {
-		a, err := l.Run(ctx, id)
-		if err != nil {
-			return out, fmt.Errorf("experiments: %s: %w", id, err)
+	ids := IDs()
+	workers := l.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	arts := make([]*Artifact, len(ids))
+	errs := make([]error, len(ids))
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= len(ids) {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				arts[i], errs[i] = l.Run(ctx, ids[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := make([]*Artifact, 0, len(ids))
+	var firstErr error
+	for i, a := range arts {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiments: %s: %w", ids[i], errs[i])
+			}
+			continue
 		}
 		out = append(out, a)
 	}
-	return out, nil
+	return out, firstErr
 }
 
 // IDs lists the known experiment identifiers in paper order, with

@@ -66,9 +66,19 @@ func TwoSample(xs, ys []float64) (Result, error) {
 	var dmax float64
 	na, nb := float64(len(a)), float64(len(b))
 	for i < len(a) && j < len(b) {
-		if a[i] <= b[j] {
+		// Advance both ECDFs through every observation equal to the
+		// smallest unprocessed value before comparing: at a cross-sample
+		// tie both distribution functions jump at once, and evaluating
+		// mid-jump would report a spurious gap (ties are the norm for
+		// multi-walk minima resampled from a finite pool).
+		x := a[i]
+		if b[j] < x {
+			x = b[j]
+		}
+		for i < len(a) && a[i] == x {
 			i++
-		} else {
+		}
+		for j < len(b) && b[j] == x {
 			j++
 		}
 		diff := math.Abs(float64(i)/na - float64(j)/nb)

@@ -1,0 +1,140 @@
+package multiwalk
+
+import (
+	"math"
+	"testing"
+
+	"lasvegas/internal/dist"
+	"lasvegas/internal/ks"
+	"lasvegas/internal/stats"
+	"lasvegas/internal/xrand"
+)
+
+// TestSimulateAgreesWithBruteKS is the correctness half of the
+// ablation claim: the O(1)-per-draw inverse-CDF engine and the
+// literal min-of-n resampler draw the same Z(n) distribution, checked
+// with a two-sample Kolmogorov–Smirnov test across the core grid of
+// the acceptance criteria.
+func TestSimulateAgreesWithBruteKS(t *testing.T) {
+	truth, _ := dist.NewShiftedExponential(1217, 9.15956e-6)
+	pool := dist.SampleN(truth, xrand.New(42), 650)
+	for _, n := range []int{4, 64, 1024} {
+		fast, err := Simulate(pool, n, 4000, 1000+uint64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := SimulateBrute(pool, n, 4000, 2000+uint64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ks.TwoSample(fast, brute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RejectAt(0.01) {
+			t.Errorf("n=%d: engines disagree: D=%v p=%v", n, res.D, res.PValue)
+		}
+	}
+}
+
+// TestSimulateMatchesEmpiricalMinExpectation: the fast engine's Monte
+// Carlo mean must converge to dist.Empirical's exact one-pass
+// MinExpectation.
+func TestSimulateMatchesEmpiricalMinExpectation(t *testing.T) {
+	pool := []float64{1, 3, 7, 20, 55, 148, 403, 1100}
+	e, err := dist.NewEmpirical(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 5, 16} {
+		zs, err := Simulate(pool, n, 80000, uint64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := stats.Mean(zs)
+		want := e.MinExpectation(n)
+		if math.Abs(got-want) > 0.03*want {
+			t.Errorf("n=%d: simulated E[Z] = %v, exact %v", n, got, want)
+		}
+	}
+}
+
+// TestSimulateExtremeCoreCounts: the Figure-14 regime and beyond must
+// stay exact — every draw within the pool range, means monotone
+// decreasing toward the pool minimum.
+func TestSimulateExtremeCoreCounts(t *testing.T) {
+	truth, _ := dist.NewExponential(5.4e-9)
+	pool := dist.SampleN(truth, xrand.New(1), 2000)
+	min, max := stats.Min(pool), stats.Max(pool)
+	prev := math.Inf(1)
+	for _, n := range []int{1, 64, 1024, 8192, 65536} {
+		zs, err := Simulate(pool, n, 3000, uint64(n)+99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, z := range zs {
+			if z < min || z > max {
+				t.Fatalf("n=%d: draw %v outside pool range [%v, %v]", n, z, min, max)
+			}
+		}
+		m := stats.Mean(zs)
+		if m > prev*1.05 {
+			t.Fatalf("n=%d: mean %v not decreasing (prev %v)", n, m, prev)
+		}
+		prev = m
+	}
+	if prev > 20*min {
+		t.Errorf("E[Z(65536)] = %v not near pool minimum %v", prev, min)
+	}
+}
+
+// TestSimulateBruteValidation mirrors Simulate's argument checks.
+func TestSimulateBruteValidation(t *testing.T) {
+	if _, err := SimulateBrute(nil, 2, 10, 1); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := SimulateBrute([]float64{1}, 0, 10, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := SimulateBrute([]float64{1}, 2, 0, 1); err == nil {
+		t.Error("reps=0 accepted")
+	}
+}
+
+// TestSimulateDeterministic: equal seeds give identical draws.
+func TestSimulateDeterministic(t *testing.T) {
+	pool := []float64{5, 10, 20, 40, 80}
+	a, _ := Simulate(pool, 8, 100, 3)
+	b, _ := Simulate(pool, 8, 100, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Simulate not deterministic for equal seeds")
+		}
+	}
+}
+
+// BenchmarkSimulate measures the fast engine at the acceptance
+// criteria's operating point (n=8192, reps=3000).
+func BenchmarkSimulate(b *testing.B) {
+	truth, _ := dist.NewExponential(5.4e-9)
+	pool := dist.SampleN(truth, xrand.New(1), 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(pool, 8192, 3000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateBrute is the same operating point on the literal
+// engine; the acceptance criterion is a ≥10× gap to BenchmarkSimulate.
+func BenchmarkSimulateBrute(b *testing.B) {
+	truth, _ := dist.NewExponential(5.4e-9)
+	pool := dist.SampleN(truth, xrand.New(1), 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateBrute(pool, 8192, 3000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -107,8 +107,20 @@ func (m Min) Mean() float64 {
 	return e
 }
 
-// Var implements dist.Dist via the first two quantile-domain moments.
+// Var implements dist.Dist, preferring the min-stable closed forms
+// and falling back to the first two quantile-domain moments.
 func (m Min) Var() float64 {
+	switch b := m.Base.(type) {
+	case dist.ShiftedExponential:
+		return b.MinDist(m.N).Var()
+	case dist.Weibull:
+		return b.MinDist(m.N).Var()
+	case dist.Uniform:
+		// Textbook: Var = n(Hi-Lo)²/((n+1)²(n+2)).
+		w := b.Hi - b.Lo
+		nf := float64(m.N)
+		return nf * w * w / ((nf + 1) * (nf + 1) * (nf + 2))
+	}
 	e1, err1 := Moment(m.Base, m.N, 1)
 	e2, err2 := Moment(m.Base, m.N, 2)
 	if err1 != nil || err2 != nil {

@@ -145,7 +145,28 @@ func TestMinVariance(t *testing.T) {
 	// Min of n exponential(λ) is exponential(nλ): Var = 1/(nλ)².
 	base, _ := dist.NewExponential(0.25)
 	m := Min{Base: base, N: 4}
-	approx(t, m.Var(), 1.0, 1e-6, "variance of exp min")
+	approx(t, m.Var(), 1.0, 1e-12, "variance of exp min (closed form)")
+}
+
+func TestMinVarianceFastPathsAgreeWithQuadrature(t *testing.T) {
+	// The closed-form Var fast paths must match the generic
+	// quantile-domain moments they replace.
+	quadVar := func(d dist.Dist, n int) float64 {
+		e1, err1 := Moment(d, n, 1)
+		e2, err2 := Moment(d, n, 2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("quadrature failed: %v %v", err1, err2)
+		}
+		return e2 - e1*e1
+	}
+	wb, _ := dist.NewWeibull(1.8, 50)
+	un, _ := dist.NewUniform(2, 7)
+	se, _ := dist.NewShiftedExponential(100, 1e-3)
+	for _, n := range []int{2, 16, 128} {
+		approx(t, Min{Base: wb, N: n}.Var(), quadVar(wb, n), 1e-6, "weibull min var")
+		approx(t, Min{Base: un, N: n}.Var(), quadVar(un, n), 1e-6, "uniform min var")
+		approx(t, Min{Base: se, N: n}.Var(), quadVar(se, n), 1e-6, "shifted-exp min var")
+	}
 }
 
 func TestMeanMonotoneDecreasing(t *testing.T) {

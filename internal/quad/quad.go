@@ -13,6 +13,7 @@ package quad
 import (
 	"errors"
 	"math"
+	"sync"
 )
 
 // ErrNoConvergence is reported when an adaptive rule exhausts its
@@ -87,18 +88,23 @@ func GaussLegendre(f Func, a, b float64, n int) float64 {
 	return sum * half
 }
 
-// legendre rule cache, keyed by order. Access is not synchronized:
-// the experiment harness computes rules during single-goroutine set-up
-// and multiwalk workers only read f, not the cache. Callers that need
-// concurrent first-use must pre-warm via Warm.
-var ruleCache = map[int][2][]float64{}
+// legendre rule cache, keyed by order. Synchronized so the parallel
+// experiment lab can hit first-use from any goroutine; rules are
+// immutable once stored, so readers share slices safely.
+var (
+	ruleMu    sync.RWMutex
+	ruleCache = map[int][2][]float64{}
+)
 
-// Warm precomputes and caches the n-point rule; call before handing
-// integrators to concurrent goroutines.
+// Warm precomputes and caches the n-point rule; an optional
+// optimization to move rule construction out of a measured section.
 func Warm(n int) { legendreRule(n) }
 
 func legendreRule(n int) (nodes, weights []float64) {
-	if r, ok := ruleCache[n]; ok {
+	ruleMu.RLock()
+	r, ok := ruleCache[n]
+	ruleMu.RUnlock()
+	if ok {
 		return r[0], r[1]
 	}
 	nodes = make([]float64, n)
@@ -128,7 +134,9 @@ func legendreRule(n int) (nodes, weights []float64) {
 		weights[i] = w
 		weights[n-1-i] = w
 	}
+	ruleMu.Lock()
 	ruleCache[n] = [2][]float64{nodes, weights}
+	ruleMu.Unlock()
 	return nodes, weights
 }
 

@@ -125,17 +125,22 @@ func RandomPlantedKSAT(n, m, k int, r *xrand.Rand) (*Formula, []bool, error) {
 // randomClause draws k distinct variables with uniform signs; when
 // planted is non-nil the clause is redrawn until the planted
 // assignment satisfies it (rejection keeps the distribution close to
-// uniform-conditioned-on-satisfiable).
+// uniform-conditioned-on-satisfiable). Distinctness is enforced by
+// scanning the clause under construction — k is tiny (3 for the phase
+// transition, ≤5 in practice), so the linear scan beats any set and
+// the only allocation left is the clause itself, which is retained.
 func randomClause(n, k int, r *xrand.Rand, planted []bool) Clause {
+	c := make(Clause, 0, k)
 	for {
-		c := make(Clause, 0, k)
-		seen := map[int]bool{}
+		c = c[:0]
+	draw:
 		for len(c) < k {
 			v := 1 + r.Intn(n)
-			if seen[v] {
-				continue
+			for _, lit := range c {
+				if lit == Literal(v) || lit == Literal(-v) {
+					continue draw
+				}
 			}
-			seen[v] = true
 			if r.Float64() < 0.5 {
 				c = append(c, Literal(-v))
 			} else {
@@ -308,6 +313,7 @@ type Solver struct {
 	f      *Formula
 	params Params
 	ix     *index
+	assign []bool // scratch assignment, reused across runs
 }
 
 // NewSolver validates the formula and prepares occurrence indexes.
@@ -318,7 +324,12 @@ func NewSolver(f *Formula, params Params) (*Solver, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
-	return &Solver{f: f, params: params.withDefaults(), ix: buildIndex(f)}, nil
+	return &Solver{
+		f:      f,
+		params: params.withDefaults(),
+		ix:     buildIndex(f),
+		assign: make([]bool, f.NumVars+1),
+	}, nil
 }
 
 // Run executes WalkSAT until a model is found or the flip budget is
@@ -327,7 +338,9 @@ func (s *Solver) Run(r *xrand.Rand) Result { return s.RunContext(context.Backgro
 
 // RunContext is Run with cooperative cancellation.
 func (s *Solver) RunContext(ctx context.Context, r *xrand.Rand) Result {
-	assignment := make([]bool, s.f.NumVars+1)
+	// Reuse the solver's scratch assignment across runs; the flip loop
+	// is then allocation-free and only a successful run copies out.
+	assignment := s.assign
 	for v := 1; v <= s.f.NumVars; v++ {
 		assignment[v] = r.Float64() < 0.5
 	}
@@ -379,5 +392,7 @@ func (s *Solver) RunContext(ctx context.Context, r *xrand.Rand) Result {
 		}
 		s.ix.flip(v, assignment)
 	}
-	return Result{Assignment: assignment, Solved: true, Flips: flips}
+	model := make([]bool, len(assignment))
+	copy(model, assignment)
+	return Result{Assignment: model, Solved: true, Flips: flips}
 }

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Record a benchmark baseline: run the full suite with -benchmem and
+# write both the raw `go test` output (BENCH_<n>.txt) and a parsed
+# JSON summary (BENCH_<n>.json) so future perf PRs have a trajectory
+# to compare against.
+#
+#   scripts/bench.sh [index] [benchtime]
+#
+# Defaults: index 1, benchtime 1x (a smoke pass; use e.g. `bench.sh 2
+# 1s` for statistically meaningful numbers).
+set -eu
+
+idx="${1:-1}"
+benchtime="${2:-1x}"
+cd "$(dirname "$0")/.."
+
+raw="BENCH_${idx}.txt"
+json="BENCH_${idx}.json"
+
+go test -run='^$' -bench=. -benchmem -benchtime="$benchtime" ./... | tee "$raw"
+
+# Parse `BenchmarkName-P  iters  ns/op [B/op allocs/op]` lines to JSON.
+awk -v benchtime="$benchtime" '
+BEGIN { n = 0 }
+$1 ~ /^Benchmark/ && $3 == "ns/op" || ($1 ~ /^Benchmark/ && NF >= 4) {
+    name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n > 0) printf(",\n")
+    printf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (bytes != "") printf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") printf(", \"allocs_per_op\": %s", allocs)
+    printf("}")
+    n++
+}
+END { print "" }
+' "$raw" > /tmp/bench_rows.$$
+
+{
+    printf '{\n  "benchtime": "%s",\n  "go": "%s",\n  "benchmarks": [\n' \
+        "$benchtime" "$(go env GOVERSION)"
+    cat /tmp/bench_rows.$$
+    printf '  ]\n}\n'
+} > "$json"
+rm -f /tmp/bench_rows.$$
+
+echo "wrote $raw and $json"
