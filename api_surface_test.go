@@ -1,0 +1,153 @@
+package lasvegas_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// updateAPI regenerates the golden surface when the environment
+// variable UPDATE_API is set (UPDATE_API=1 go test -run TestAPISurface).
+var updateAPI = os.Getenv("UPDATE_API") != ""
+
+// TestAPISurface locks the exported surface of the public lasvegas
+// package against testdata/api_surface.golden: removing or renaming
+// an exported identifier (or an exported field/method of an exported
+// type) fails this test, and adding one requires a deliberate golden
+// update.
+
+func TestAPISurface(t *testing.T) {
+	got := exportedSurface(t)
+	goldenPath := filepath.Join("testdata", "api_surface.golden")
+	if updateAPI {
+		if err := os.WriteFile(goldenPath, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s with %d identifiers", goldenPath, len(got))
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden API surface (run with UPDATE_API=1 to create): %v", err)
+	}
+	want := strings.Split(strings.TrimSpace(string(data)), "\n")
+
+	gotSet := toSet(got)
+	wantSet := toSet(want)
+	for _, id := range want {
+		if !gotSet[id] {
+			t.Errorf("exported identifier removed or changed: %s", id)
+		}
+	}
+	for _, id := range got {
+		if !wantSet[id] {
+			t.Errorf("new exported identifier %s — update testdata/api_surface.golden (UPDATE_API=1 go test -run TestAPISurface)", id)
+		}
+	}
+}
+
+func toSet(ids []string) map[string]bool {
+	m := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+// exportedSurface parses the package in the repository root and
+// returns every exported identifier, qualified as:
+//
+//	func Name, type Name, const Name, var Name,
+//	method Type.Name, field Type.Name
+func exportedSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["lasvegas"]
+	if !ok {
+		t.Fatalf("package lasvegas not found in %v", pkgs)
+	}
+	var ids []string
+	add := func(format string, args ...any) { ids = append(ids, fmt.Sprintf(format, args...)) }
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv == nil {
+					add("func %s", d.Name.Name)
+					continue
+				}
+				recv := receiverName(d.Recv.List[0].Type)
+				if ast.IsExported(recv) {
+					add("method %s.%s", recv, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						add("type %s", s.Name.Name)
+						switch st := s.Type.(type) {
+						case *ast.StructType:
+							for _, fld := range st.Fields.List {
+								for _, n := range fld.Names {
+									if n.IsExported() {
+										add("field %s.%s", s.Name.Name, n.Name)
+									}
+								}
+							}
+						case *ast.InterfaceType:
+							for _, m := range st.Methods.List {
+								for _, n := range m.Names {
+									if n.IsExported() {
+										add("method %s.%s", s.Name.Name, n.Name)
+									}
+								}
+							}
+						}
+					case *ast.ValueSpec:
+						kw := "var"
+						if d.Tok == token.CONST {
+							kw = "const"
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								add("%s %s", kw, n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func receiverName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.StarExpr:
+		return receiverName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver
+		return receiverName(e.X)
+	}
+	return ""
+}

@@ -1,0 +1,152 @@
+package lasvegas_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lasvegas"
+)
+
+// TestCampaignGoldenV2RoundTrip: the current schema must load the
+// checked-in golden file, survive a write→read round trip untouched,
+// and re-serialize byte-identically to the golden bytes.
+func TestCampaignGoldenV2RoundTrip(t *testing.T) {
+	path := filepath.Join("testdata", "campaign_v2.json")
+	c, err := lasvegas.LoadCampaign(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &lasvegas.Campaign{
+		Problem:    "sat-3-120",
+		Size:       120,
+		Runs:       6,
+		Seed:       42,
+		Budget:     5000,
+		Iterations: []float64{1203, 88, 5000, 764, 5000, 331},
+		Seconds:    []float64{0.031, 0.002, 0.125, 0.019, 0.127, 0.008},
+		Censored:   []int{2, 4},
+		Metadata:   map[string]string{"host": "ci", "solver": "walksat"},
+	}
+	if !reflect.DeepEqual(c, want) {
+		t.Fatalf("loaded campaign mismatch:\ngot  %+v\nwant %+v", c, want)
+	}
+	if !c.IsCensored() || len(c.Complete()) != 4 {
+		t.Fatalf("censoring info lost: censored=%v complete=%d", c.Censored, len(c.Complete()))
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(golden) {
+		t.Errorf("serialized campaign diverged from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+
+	back, err := lasvegas.ReadCampaign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, c) {
+		t.Errorf("round trip changed the campaign:\ngot  %+v\nwant %+v", back, c)
+	}
+}
+
+// TestCampaignGoldenV1Upgrade: legacy header-less files (schema 1)
+// must keep loading, and re-saving upgrades them to the current
+// schema without touching the observations.
+func TestCampaignGoldenV1Upgrade(t *testing.T) {
+	c, err := lasvegas.LoadCampaign(filepath.Join("testdata", "campaign_v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Problem != "costas-11" || c.Runs != 5 || c.Seed != 3 {
+		t.Fatalf("v1 header mismatch: %+v", c)
+	}
+	if want := []float64{256, 140, 12, 315, 537}; !reflect.DeepEqual(c.Iterations, want) {
+		t.Fatalf("v1 iterations = %v, want %v", c.Iterations, want)
+	}
+	if c.IsCensored() || c.Size != 0 || c.Metadata != nil {
+		t.Fatalf("v1 must load with zero v2 extensions: %+v", c)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"schema\": 2") {
+		t.Errorf("re-saved v1 campaign not upgraded to schema 2:\n%s", buf.String())
+	}
+	back, err := lasvegas.ReadCampaign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Iterations, c.Iterations) || back.Problem != c.Problem {
+		t.Errorf("v1→v2 upgrade changed data: %+v", back)
+	}
+}
+
+// TestCampaignSchemaTooNew: files from a future release must be
+// refused with the typed ErrSchema.
+func TestCampaignSchemaTooNew(t *testing.T) {
+	_, err := lasvegas.ReadCampaign(strings.NewReader(
+		`{"schema": 99, "problem": "x", "runs": 1, "seed": 1, "iterations": [1]}`))
+	if !errors.Is(err, lasvegas.ErrSchema) {
+		t.Fatalf("want ErrSchema, got %v", err)
+	}
+}
+
+// TestCampaignValidation: empty campaigns and out-of-range censoring
+// indices are rejected at load time.
+func TestCampaignValidation(t *testing.T) {
+	if _, err := lasvegas.ReadCampaign(strings.NewReader(
+		`{"problem": "x", "runs": 0, "seed": 1, "iterations": []}`)); !errors.Is(err, lasvegas.ErrEmptyCampaign) {
+		t.Errorf("empty campaign: want ErrEmptyCampaign, got %v", err)
+	}
+	if _, err := lasvegas.ReadCampaign(strings.NewReader(
+		`{"schema": 2, "problem": "x", "runs": 1, "seed": 1, "iterations": [5], "censored": [7]}`)); err == nil {
+		t.Error("out-of-range censored index accepted")
+	}
+}
+
+// TestCampaignCSVRoundTrip: the CSV sidecar format preserves
+// iterations, seconds and censoring flags.
+func TestCampaignCSVRoundTrip(t *testing.T) {
+	c := &lasvegas.Campaign{
+		Problem:    "ms-6",
+		Runs:       3,
+		Iterations: []float64{10, 20, 30},
+		Seconds:    []float64{0.1, 0.2, 0.3},
+		Censored:   []int{1},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := lasvegas.ReadCampaignCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Iterations, c.Iterations) ||
+		!reflect.DeepEqual(back.Seconds, c.Seconds) ||
+		!reflect.DeepEqual(back.Censored, c.Censored) {
+		t.Errorf("CSV round trip mismatch: %+v", back)
+	}
+	// Legacy three-column CSV (no censored flag) still parses.
+	legacy := "run,iterations,seconds\n0,5,0.5\n1,6,0.6\n"
+	old, err := lasvegas.ReadCampaignCSV(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old.Iterations, []float64{5, 6}) || old.IsCensored() {
+		t.Errorf("legacy CSV mismatch: %+v", old)
+	}
+}

@@ -1,0 +1,21 @@
+package lasvegas
+
+import "lasvegas/internal/textplot"
+
+// Series is one named curve of a text chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders the series as a plain-text line chart on a w×h
+// character grid — the rendering behind the repository's paper-figure
+// reproductions, exposed so API users (and the examples) can plot
+// predicted-vs-measured speed-up curves without a plotting stack.
+func Chart(title string, series []Series, w, h int) string {
+	ts := make([]textplot.Series, len(series))
+	for i, s := range series {
+		ts[i] = textplot.Series{Name: s.Name, X: s.X, Y: s.Y}
+	}
+	return textplot.Chart(title, ts, w, h)
+}

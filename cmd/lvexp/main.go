@@ -17,11 +17,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 
+	"lasvegas"
 	"lasvegas/internal/experiments"
-	"lasvegas/internal/problems"
 )
 
 func main() {
@@ -45,11 +43,11 @@ func main() {
 		}
 		return
 	}
-	cores, err := parseInts(*coresS)
+	cores, err := lasvegas.ParseCores(*coresS)
 	if err != nil {
 		fatal(err)
 	}
-	sizes, err := parseSizes(*sizesS)
+	sizes, err := lasvegas.ParseSizes(*sizesS)
 	if err != nil {
 		fatal(err)
 	}
@@ -105,38 +103,6 @@ func writeArtifacts(dir string, arts []*experiments.Artifact) error {
 		}
 	}
 	return nil
-}
-
-func parseInts(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		n, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad core count %q", p)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
-func parseSizes(s string) (map[problems.Kind]int, error) {
-	sizes := map[problems.Kind]int{}
-	if s == "" {
-		return sizes, nil
-	}
-	for _, kv := range strings.Split(s, ",") {
-		k, v, ok := strings.Cut(kv, "=")
-		if !ok {
-			return nil, fmt.Errorf("bad size %q (want family=N)", kv)
-		}
-		n, err := strconv.Atoi(strings.TrimSpace(v))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad size value %q", v)
-		}
-		sizes[problems.Kind(strings.TrimSpace(k))] = n
-	}
-	return sizes, nil
 }
 
 func fatal(err error) {

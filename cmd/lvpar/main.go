@@ -16,15 +16,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 
-	"lasvegas/internal/adaptive"
-	"lasvegas/internal/csp"
-	"lasvegas/internal/multiwalk"
-	"lasvegas/internal/problems"
-	"lasvegas/internal/runtimes"
-	"lasvegas/internal/stats"
+	"lasvegas"
 )
 
 func main() {
@@ -41,51 +34,47 @@ func main() {
 	)
 	flag.Parse()
 
-	walkers, err := parseInts(*walkersS)
+	walkers, err := lasvegas.ParseCores(*walkersS)
 	if err != nil {
 		fatal(err)
 	}
-	kind := problems.Kind(*problem)
+	prob := lasvegas.Problem(*problem)
 	if *size == 0 {
-		*size = problems.DefaultSize(kind)
+		*size = prob.DefaultSize()
 	}
-	factory := func() (csp.Problem, error) { return problems.New(kind, *size) }
 
 	// Baseline pool.
-	var pool []float64
-	var label string
+	var campaign *lasvegas.Campaign
 	if *in != "" {
-		c, err := runtimes.LoadJSON(*in)
+		campaign, err = lasvegas.LoadCampaign(*in)
 		if err != nil {
 			fatal(err)
 		}
-		pool, label = c.Iterations, c.Problem
 	} else {
-		if _, err := factory(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("collecting %d sequential baseline runs of %s-%d...\n", *baseRuns, kind, *size)
-		c, err := runtimes.Collect(context.Background(), factory, adaptive.Params{}, *baseRuns, *seed, 0)
+		fmt.Printf("collecting %d sequential baseline runs of %s-%d...\n", *baseRuns, prob, *size)
+		collector := lasvegas.New(lasvegas.WithRuns(*baseRuns), lasvegas.WithSeed(*seed))
+		campaign, err = collector.Collect(context.Background(), prob, *size)
 		if err != nil {
 			fatal(err)
 		}
-		pool, label = c.Iterations, c.Problem
 	}
-	seqMean := stats.Mean(pool)
-	fmt.Printf("baseline: %s, mean %.4g iterations over %d runs\n\n", label, seqMean, len(pool))
+	seqMean := campaign.IterationSummary().Mean
+	fmt.Printf("baseline: %s, mean %.4g iterations over %d runs\n\n",
+		campaign.Problem, seqMean, len(campaign.Iterations))
 
 	fmt.Printf("%-8s %18s %18s\n", "walkers", "real speed-up", "simulated speed-up")
-	simPts, err := multiwalk.MeasureSimulated(pool, walkers, *simReps, *seed^0x51)
+	sim := lasvegas.New(lasvegas.WithSimReps(*simReps), lasvegas.WithSeed(*seed^0x51))
+	simPts, err := sim.SimulateSpeedups(campaign, walkers)
 	if err != nil {
 		fatal(err)
 	}
-	var realPts []multiwalk.SpeedupPoint
+	var realPts []lasvegas.SpeedupPoint
 	if !*simOnly {
-		runner, err := multiwalk.SolverRunner(factory, adaptive.Params{})
-		if err != nil {
-			fatal(err)
-		}
-		realPts, err = multiwalk.MeasureReal(context.Background(), runner, seqMean, walkers, *reps, *seed^0xEA)
+		// Same seed as the baseline collector: for sat-3 the predictor
+		// seed identifies the planted formula, so the raced instance
+		// must match the one the campaign measured.
+		real := lasvegas.New(lasvegas.WithSeed(*seed))
+		realPts, err = real.MeasureSpeedups(context.Background(), prob, *size, seqMean, walkers, *reps)
 		if err != nil {
 			fatal(err)
 		}
@@ -104,19 +93,6 @@ func main() {
 		fmt.Printf("\nnote: real walkers beyond %d physical cores time-share the CPU;\n", runtime.NumCPU())
 		fmt.Println("iteration-metric speed-ups stay meaningful, wall-clock ones do not (paper §5.5).")
 	}
-}
-
-func parseInts(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		n, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad walker count %q", p)
-		}
-		out = append(out, n)
-	}
-	return out, nil
 }
 
 func fatal(err error) {

@@ -1,5 +1,5 @@
 // Command lvpredict runs the paper's §6 pipeline: load (or collect) a
-// sequential runtime sample, fit candidate distribution families,
+// sequential runtime campaign, fit candidate distribution families,
 // rank them by Kolmogorov–Smirnov p-value, and predict multi-walk
 // parallel speed-ups — both from the best parametric fit and from the
 // nonparametric empirical plug-in.
@@ -8,6 +8,7 @@
 //
 //	lvpredict -in costas12.json -cores 16,32,64,128,256
 //	lvpredict -problem all-interval -size 20 -runs 200
+//	lvpredict -problem sat-3 -size 120 -runs 300
 package main
 
 import (
@@ -15,17 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"lasvegas/internal/adaptive"
-	"lasvegas/internal/core"
-	"lasvegas/internal/csp"
-	"lasvegas/internal/fit"
-	"lasvegas/internal/ks"
-	"lasvegas/internal/problems"
-	"lasvegas/internal/restart"
-	"lasvegas/internal/runtimes"
+	"lasvegas"
 )
 
 func main() {
@@ -40,61 +32,62 @@ func main() {
 	)
 	flag.Parse()
 
-	cores, err := parseCores(*coresS)
+	cores, err := lasvegas.ParseCores(*coresS)
 	if err != nil {
 		fatal(err)
 	}
-	sample, label, err := loadSample(*in, *problem, *size, *runs, *seed)
+	campaign, label, err := loadCampaign(*in, *problem, *size, *runs, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("sample: %s (%d observations)\n\n", label, len(sample))
+	fmt.Printf("sample: %s (%d observations)\n\n", label, len(campaign.Iterations))
 
 	// §6: candidate families ranked by KS p-value, with the
 	// tail-sensitive Anderson–Darling verdict alongside.
-	results, err := fit.Auto(sample, fit.FamExponential, fit.FamShiftedExponential,
-		fit.FamLogNormal, fit.FamNormal, fit.FamLevy)
+	wide := lasvegas.New(
+		lasvegas.WithFamilies(lasvegas.Exponential, lasvegas.ShiftedExponential,
+			lasvegas.LogNormal, lasvegas.Normal, lasvegas.Levy),
+		lasvegas.WithAlpha(*alpha))
+	cands, err := wide.FitAll(campaign)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%-22s %-42s %9s %9s %9s %s\n", "family", "fitted", "KS D", "KS p", "AD p", "verdict")
-	for _, r := range results {
-		if r.Err != nil {
-			fmt.Printf("%-22s %-42s %9s %9s %9s could not fit (%v)\n", r.Family, "-", "-", "-", "-", r.Err)
+	for _, c := range cands {
+		if c.Err != nil {
+			fmt.Printf("%-22s %-42s %9s %9s %9s could not fit (%v)\n", c.Family, "-", "-", "-", "-", c.Err)
 			continue
 		}
 		adP := "-"
-		if ad, err := ks.AndersonDarling(sample, r.Dist); err == nil {
-			adP = fmt.Sprintf("%.4f", ad.PValue)
+		if c.ADValid {
+			adP = fmt.Sprintf("%.4f", c.AD.PValue)
 		}
 		verdict := "accepted"
-		if r.KS.RejectAt(*alpha) {
+		if c.KS.RejectedAt(*alpha) {
 			verdict = fmt.Sprintf("REJECTED at α=%g", *alpha)
 		}
-		fmt.Printf("%-22s %-42s %9.4f %9.4f %9s %s\n", r.Family, r.Dist.String(), r.KS.D, r.KS.PValue, adP, verdict)
+		fmt.Printf("%-22s %-42s %9.4f %9.4f %9s %s\n", c.Family, c.Law, c.KS.Stat, c.KS.PValue, adP, verdict)
 	}
 
-	best, err := fit.Best(sample, *alpha, fit.FamExponential, fit.FamShiftedExponential, fit.FamLogNormal)
+	pred := lasvegas.New(lasvegas.WithAlpha(*alpha))
+	best, err := pred.Fit(campaign)
 	if err != nil {
 		fatal(fmt.Errorf("no family accepted: %w", err))
 	}
-	pred, err := core.NewPredictor(best.Dist)
-	if err != nil {
-		fatal(err)
-	}
-	plug, err := core.NewEmpirical(sample)
+	plug, err := pred.PlugIn(campaign)
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("\nbest fit: %s (p=%.4f)\n", best.Dist, best.KS.PValue)
-	if pred.Linear() {
+	gof, _ := best.GoodnessOfFit()
+	fmt.Printf("\nbest fit: %s (p=%.4f)\n", best, gof.PValue)
+	if best.Linear() {
 		fmt.Println("prediction: strictly linear speed-up (x0 = 0 exponential case)")
 	}
-	fmt.Printf("speed-up limit (n→∞): %.4g   tangent at origin: %.4g\n", pred.Limit(), pred.TangentAtOrigin())
+	fmt.Printf("speed-up limit (n→∞): %.4g   tangent at origin: %.4g\n", best.Limit(), best.TangentAtOrigin())
 
 	// The same fitted law also prices the restart strategy.
-	if opt, err := restart.OptimalCutoff(best.Dist); err == nil {
+	if opt, err := best.OptimalRestart(); err == nil {
 		switch {
 		case opt.Gain > 1.001:
 			fmt.Printf("restart analysis: cutoff %.4g gains %.2fx sequentially (heavy tail)\n\n", opt.Cutoff, opt.Gain)
@@ -107,7 +100,7 @@ func main() {
 
 	fmt.Printf("%-8s %16s %16s\n", "cores", "G(n) parametric", "G(n) plug-in")
 	for _, n := range cores {
-		gp, err := pred.Speedup(n)
+		gp, err := best.Speedup(n)
 		if err != nil {
 			fatal(err)
 		}
@@ -119,10 +112,10 @@ func main() {
 	}
 }
 
-func loadSample(in, problem string, size, runs int, seed uint64) ([]float64, string, error) {
+func loadCampaign(in, problem string, size, runs int, seed uint64) (*lasvegas.Campaign, string, error) {
 	switch {
 	case in != "":
-		c, err := runtimes.LoadJSON(in)
+		c, err := lasvegas.LoadCampaign(in)
 		if err != nil {
 			return nil, "", err
 		}
@@ -130,36 +123,16 @@ func loadSample(in, problem string, size, runs int, seed uint64) ([]float64, str
 		if name == "" {
 			name = in
 		}
-		return c.Iterations, name, nil
+		return c, name, nil
 	case problem != "":
-		kind := problems.Kind(problem)
-		if size == 0 {
-			size = problems.DefaultSize(kind)
-		}
-		factory := func() (csp.Problem, error) { return problems.New(kind, size) }
-		if _, err := factory(); err != nil {
-			return nil, "", err
-		}
-		c, err := runtimes.Collect(context.Background(), factory, adaptive.Params{}, runs, seed, 0)
+		p := lasvegas.New(lasvegas.WithRuns(runs), lasvegas.WithSeed(seed))
+		c, err := p.Collect(context.Background(), lasvegas.Problem(problem), size)
 		if err != nil {
 			return nil, "", err
 		}
-		return c.Iterations, c.Problem, nil
+		return c, c.Problem, nil
 	}
 	return nil, "", fmt.Errorf("specify -in <campaign.json> or -problem <family>")
-}
-
-func parseCores(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	cores := make([]int, 0, len(parts))
-	for _, p := range parts {
-		n, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad core count %q", p)
-		}
-		cores = append(cores, n)
-	}
-	return cores, nil
 }
 
 func fatal(err error) {

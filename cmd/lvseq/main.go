@@ -1,6 +1,7 @@
-// Command lvseq runs a sequential Adaptive Search campaign on one
-// benchmark problem and reports the paper's Table-1/2 statistics,
-// optionally persisting the runtime sample for lvpredict/lvpar.
+// Command lvseq runs a sequential campaign on one benchmark problem
+// (Adaptive Search for the CSPs, WalkSAT for sat-3) and reports the
+// paper's Table-1/2 statistics, optionally persisting the runtime
+// campaign for lvpredict/lvpar.
 //
 // Usage:
 //
@@ -14,36 +15,34 @@ import (
 	"fmt"
 	"os"
 
-	"lasvegas/internal/adaptive"
-	"lasvegas/internal/csp"
-	"lasvegas/internal/problems"
-	"lasvegas/internal/runtimes"
+	"lasvegas"
 )
 
 func main() {
 	var (
-		problem = flag.String("problem", "costas", "problem family: all-interval | magic-square | costas | queens")
+		problem = flag.String("problem", "costas", "problem family: all-interval | magic-square | costas | queens | sat-3")
 		size    = flag.Int("size", 0, "instance size (0 = scaled default; magic-square size is the board side)")
 		runs    = flag.Int("runs", 200, "number of sequential runs")
 		seed    = flag.Uint64("seed", 1, "campaign seed (deterministic)")
 		workers = flag.Int("workers", 0, "parallel collection workers (0 = GOMAXPROCS)")
 		outJSON = flag.String("out", "", "write the campaign as JSON to this path")
 		outCSV  = flag.String("csv", "", "write per-run rows as CSV to this path")
-		maxIter = flag.Int64("maxiter", 0, "per-run iteration budget (0 = unbounded, the Las Vegas setting)")
+		maxIter = flag.Int64("maxiter", 0, "per-run iteration budget (0 = unbounded; budget-hit runs are censored)")
 	)
 	flag.Parse()
 
-	kind := problems.Kind(*problem)
+	prob := lasvegas.Problem(*problem)
 	if *size == 0 {
-		*size = problems.DefaultSize(kind)
+		*size = prob.DefaultSize()
 	}
-	factory := func() (csp.Problem, error) { return problems.New(kind, *size) }
-	if _, err := factory(); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("collecting %d sequential runs of %s-%d (seed %d)...\n", *runs, kind, *size, *seed)
-	c, err := runtimes.Collect(context.Background(), factory,
-		adaptive.Params{MaxIterations: *maxIter}, *runs, *seed, *workers)
+	p := lasvegas.New(
+		lasvegas.WithRuns(*runs),
+		lasvegas.WithSeed(*seed),
+		lasvegas.WithWorkers(*workers),
+		lasvegas.WithBudget(*maxIter),
+	)
+	fmt.Printf("collecting %d sequential runs of %s-%d (seed %d)...\n", *runs, prob, *size, *seed)
+	c, err := p.Collect(context.Background(), prob, *size)
 	if err != nil {
 		fatal(err)
 	}
@@ -54,6 +53,9 @@ func main() {
 	fmt.Printf("%-22s %12.4g %12.4g %12.4g %12.4g\n", "iterations", it.Min, it.Mean, it.Median, it.Max)
 	fmt.Printf("%-22s %12.4g %12.4g %12.4g %12.4g\n", "seconds", ts.Min, ts.Mean, ts.Median, ts.Max)
 	fmt.Printf("\nmax/min iteration ratio: %.1f (the paper observes ratios in the thousands)\n", it.Max/it.Min)
+	if c.IsCensored() {
+		fmt.Printf("censored: %d of %d runs hit the %d-iteration budget\n", len(c.Censored), c.Runs, c.Budget)
+	}
 
 	if *outJSON != "" {
 		if err := c.SaveJSON(*outJSON); err != nil {

@@ -1,5 +1,6 @@
-// Package lasvegas reproduces "Prediction of Parallel Speed-ups for
-// Las Vegas Algorithms" (Truchet, Richoux, Codognet — ICPP 2013) as a
+// Package lasvegas predicts parallel speed-ups for Las Vegas
+// algorithms, reproducing "Prediction of Parallel Speed-ups for Las
+// Vegas Algorithms" (Truchet, Richoux, Codognet — ICPP 2013) as a
 // stdlib-only Go library.
 //
 // The paper's model: a Las Vegas algorithm has a random sequential
@@ -8,8 +9,51 @@
 // Y, so the expected speed-up G(n) = E[Y]/E[Z(n)] is computable from
 // the sequential runtime distribution alone.
 //
-// Layout (all implementation under internal/, entry points under
-// cmd/ and examples/):
+// # The public API: Campaign → Fit → Predict
+//
+// This package is the single entry point; every CLI under cmd/, every
+// example under examples/ and the experiment Lab are built on it. It
+// revolves around three nouns:
+//
+//   - Campaign — a sequential runtime sample with schema-versioned
+//     JSON round-trip, instance metadata and censoring info;
+//   - Predictor — the configurable pipeline (candidate families, KS
+//     α, bootstrap, collection budget/workers/seed via functional
+//     options) that collects campaigns and fits them;
+//   - Model — an accepted fit exposing Speedup(n), MinExpectation(n),
+//     Quantile, its KS verdict, the speed-up limit, and the optimal
+//     restart policy of the same law.
+//
+// Quickstart — collect a Costas campaign, fit it, predict:
+//
+//	func main() {
+//		ctx := context.Background()
+//		p := lasvegas.New(lasvegas.WithRuns(200), lasvegas.WithSeed(1))
+//		campaign, err := p.Collect(ctx, lasvegas.Costas, 13)
+//		if err != nil {
+//			log.Fatal(err)
+//		}
+//		model, err := p.Fit(campaign) // KS-ranked family selection (§6)
+//		if err != nil {
+//			log.Fatal(err)
+//		}
+//		fmt.Printf("fitted %s: %s\n", model.Family(), model)
+//		for _, n := range []int{16, 64, 256} {
+//			g, _ := model.Speedup(n) // G(n) = E[Y]/E[Z(n)]
+//			fmt.Printf("G(%d) = %.1f\n", n, g)
+//		}
+//	}
+//
+// Campaigns persist with SaveJSON/LoadCampaign, simulate multi-walk
+// measurements with Predictor.SimulateSpeedups, race real goroutine
+// walkers with Predictor.Race, and extrapolate across instance sizes
+// with Predictor.LearnScaling (the paper's §8 direction). Typed
+// errors (ErrNoAcceptableFit, ErrCensored, ErrSchema, ...) make the
+// failure modes programmable.
+//
+// # Layout
+//
+// All implementation lives under internal/ behind this package:
 //
 //   - internal/core        — the speed-up predictor (the contribution)
 //   - internal/dist        — the distribution kernel (see below)
@@ -17,30 +61,27 @@
 //   - internal/ks, fit     — Kolmogorov–Smirnov testing and estimation
 //   - internal/adaptive    — the Adaptive Search Las Vegas solver
 //   - internal/problems    — ALL-INTERVAL, MAGIC-SQUARE, COSTAS, Queens
+//   - internal/sat         — WalkSAT on planted 3-SAT (Problem "sat-3")
 //   - internal/multiwalk   — real and simulated multi-walk engines
-//   - internal/experiments — regenerates every paper table and figure,
-//     in parallel on a bounded worker pool
+//   - internal/experiments — regenerates every paper table and figure
+//     through this package, in parallel on a bounded worker pool
 //
 // # The distribution kernel and the quantile-domain fast path
 //
 // internal/dist is built performance-first: every parametric family
-// (exponential, shifted exponential, lognormal, normal, truncated
-// normal, gamma, Weibull, Lévy, uniform, beta) exposes closed-form
-// CDF/PDF/Quantile/Mean/Var, and the empirical distribution keeps a
-// sorted backing array so its CDF is a binary search and its quantile
-// a single index. Everything downstream rides on quantiles:
+// exposes closed-form CDF/PDF/Quantile/Mean/Var, and the empirical
+// distribution keeps a sorted backing array so its CDF is a binary
+// search and its quantile a single index. Everything downstream rides
+// on quantiles:
 //
 //   - order-statistic moments integrate Q_Y(1-(1-v)^{1/n}) on (0,1)
-//     (Nadarajah 2008), which stays stable at n = 8192 where the
-//     time-domain integrand underflows;
+//     (Nadarajah 2008), evaluated level-by-level through the
+//     vectorized QuantileBatch of the hot families;
 //   - min-stable families (shifted exponential, Weibull) and the
 //     empirical law skip quadrature entirely — MinDist/MinExpectation
 //     are exact closed forms;
 //   - multiwalk.Simulate draws Z(n) as Q̂(1-(1-U)^{1/n}) on the sorted
-//     pool, an O(1) draw per repetition regardless of n, which is
-//     what makes the 8192-core regime of Figure 14 run in
-//     milliseconds (SimulateBrute keeps the literal O(n·reps) engine
-//     for the ablation bench).
+//     pool, an O(1) draw per repetition regardless of n.
 //
 // Hot paths are allocation-free; `make bench` records a baseline in
 // BENCH_<n>.json for future performance work to compare against.

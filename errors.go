@@ -1,0 +1,29 @@
+package lasvegas
+
+import "errors"
+
+// Typed errors of the public API. Wrapped errors carry detail; test
+// with errors.Is.
+var (
+	// ErrNoAcceptableFit is returned by Predictor.Fit when no candidate
+	// family passes the Kolmogorov–Smirnov test at the configured
+	// significance level (the paper's §6 rejection outcome, as for the
+	// gaussian and Lévy candidates).
+	ErrNoAcceptableFit = errors.New("lasvegas: no candidate family passes the KS test")
+
+	// ErrCensored is returned by the fitting methods when the campaign
+	// contains censored runs (runs cut off by an iteration budget):
+	// the §6 estimators assume fully observed runtimes, so a censored
+	// sample would bias every fit toward optimism.
+	ErrCensored = errors.New("lasvegas: campaign contains censored runs")
+
+	// ErrEmptyCampaign reports a campaign without observations.
+	ErrEmptyCampaign = errors.New("lasvegas: campaign has no observations")
+
+	// ErrUnknownProblem reports an unregistered problem name.
+	ErrUnknownProblem = errors.New("lasvegas: unknown problem")
+
+	// ErrSchema reports a campaign file with an unsupported schema
+	// version (written by a newer release).
+	ErrSchema = errors.New("lasvegas: unsupported campaign schema")
+)

@@ -12,15 +12,7 @@ import (
 	"fmt"
 	"log"
 
-	"lasvegas/internal/adaptive"
-	"lasvegas/internal/core"
-	"lasvegas/internal/csp"
-	"lasvegas/internal/dist"
-	"lasvegas/internal/fit"
-	"lasvegas/internal/ks"
-	"lasvegas/internal/multiwalk"
-	"lasvegas/internal/problems"
-	"lasvegas/internal/runtimes"
+	"lasvegas"
 )
 
 func main() {
@@ -28,9 +20,16 @@ func main() {
 	runs := flag.Int("runs", 200, "sequential campaign runs (paper: 720)")
 	flag.Parse()
 
-	factory := func() (csp.Problem, error) { return problems.New(problems.AllInterval, *size) }
+	p := lasvegas.New(
+		lasvegas.WithRuns(*runs),
+		lasvegas.WithSeed(7),
+		// Force the §6.1 family so the closed-form limit/tangent of the
+		// shifted exponential are on display.
+		lasvegas.WithFamilies(lasvegas.ShiftedExponential),
+		lasvegas.WithAlpha(0), // report the fit even on an unlucky campaign
+	)
 	fmt.Printf("== sequential campaign: all-interval-%d, %d runs ==\n", *size, *runs)
-	campaign, err := runtimes.Collect(context.Background(), factory, adaptive.Params{}, *runs, 7, 0)
+	campaign, err := p.Collect(context.Background(), lasvegas.AllInterval, *size)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,46 +37,40 @@ func main() {
 	fmt.Printf("iterations: min %.0f  mean %.0f  median %.0f  max %.0f\n\n", sum.Min, sum.Mean, sum.Median, sum.Max)
 
 	// §6.1 estimators: x0 = observed minimum, λ = 1/(mean - x0).
-	se, err := fit.ShiftedExponential(campaign.Iterations)
+	model, err := p.Fit(campaign)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := ks.OneSample(campaign.Iterations, se)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("shifted exponential fit: %s\n", se)
-	fmt.Printf("KS: D=%.4f p=%.4f (paper's AI 700 fit had p=0.774)\n\n", res.D, res.PValue)
+	gof, _ := model.GoodnessOfFit()
+	fmt.Printf("shifted exponential fit: %s\n", model)
+	fmt.Printf("KS: D=%.4f p=%.4f (paper's AI 700 fit had p=0.774)\n\n", gof.Stat, gof.PValue)
 
-	pred, err := core.NewPredictor(dist.Dist(se))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("tangent at origin (small-n slope): %.4f  (= x0·λ + 1)\n", pred.TangentAtOrigin())
-	fmt.Printf("speed-up limit (n→∞):              %.2f  (= 1 + 1/(x0·λ))\n\n", pred.Limit())
+	fmt.Printf("tangent at origin (small-n slope): %.4f  (= x0·λ + 1)\n", model.TangentAtOrigin())
+	fmt.Printf("speed-up limit (n→∞):              %.2f  (= 1 + 1/(x0·λ))\n\n", model.Limit())
 
 	cores := []int{16, 32, 64, 128, 256}
-	sim, err := multiwalk.MeasureSimulated(campaign.Iterations, cores, 4000, 11)
+	sim := lasvegas.New(lasvegas.WithSimReps(4000), lasvegas.WithSeed(11))
+	pts, err := sim.SimulateSpeedups(campaign, cores)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-8s %12s %12s %10s\n", "cores", "predicted", "simulated", "of limit")
 	for i, n := range cores {
-		g, err := pred.Speedup(n)
+		g, err := model.Speedup(n)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8d %12.2f %12.2f %9.0f%%\n", n, g, sim[i].Speedup, 100*g/pred.Limit())
+		fmt.Printf("%-8d %12.2f %12.2f %9.0f%%\n", n, g, pts[i].Speedup, 100*g/model.Limit())
 	}
 
 	fmt.Println("\n== capacity planning ==")
-	for _, target := range []float64{pred.Limit() * 0.5, pred.Limit() * 0.9} {
-		n, err := pred.CoresForSpeedup(target)
+	for _, target := range []float64{model.Limit() * 0.5, model.Limit() * 0.9} {
+		n, err := model.CoresForSpeedup(target)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("reaching %.0f%% of the limit (G=%.1f) needs %d cores\n",
-			100*target/pred.Limit(), target, n)
+			100*target/model.Limit(), target, n)
 	}
 	fmt.Println("\nthe sub-linear regime means: beyond a point, extra cores buy almost nothing —")
 	fmt.Println("exactly the paper's conclusion for ALL-INTERVAL (Figure 9).")

@@ -13,25 +13,18 @@ import (
 	"fmt"
 	"log"
 
-	"lasvegas/internal/adaptive"
-	"lasvegas/internal/core"
-	"lasvegas/internal/csp"
-	"lasvegas/internal/fit"
-	"lasvegas/internal/multiwalk"
-	"lasvegas/internal/problems"
-	"lasvegas/internal/runtimes"
-	"lasvegas/internal/stats"
+	"lasvegas"
 )
 
 func main() {
 	size := flag.Int("size", 13, "Costas array order (paper: 21)")
 	runs := flag.Int("runs", 150, "sequential campaign runs (paper: 638)")
 	flag.Parse()
+	ctx := context.Background()
 
-	factory := func() (csp.Problem, error) { return problems.New(problems.Costas, *size) }
-
+	p := lasvegas.New(lasvegas.WithRuns(*runs), lasvegas.WithSeed(21), lasvegas.WithSimReps(4000))
 	fmt.Printf("== sequential campaign: costas-%d, %d runs ==\n", *size, *runs)
-	campaign, err := runtimes.Collect(context.Background(), factory, adaptive.Params{}, *runs, 21, 0)
+	campaign, err := p.Collect(ctx, lasvegas.Costas, *size)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,30 +35,26 @@ func main() {
 	// The paper's Costas observation: the minimum is negligible against
 	// the mean, so the unshifted exponential applies and the predicted
 	// speed-up is exactly linear.
-	if fit.NegligibleShift(campaign.Iterations) {
+	if lasvegas.NegligibleShift(campaign) {
 		fmt.Println("observed minimum is negligible vs the mean (x0 ≈ 0, §6.3)")
 	}
-	best, err := fit.Best(campaign.Iterations, 0.05,
-		fit.FamExponential, fit.FamShiftedExponential, fit.FamLogNormal)
+	model, err := p.Fit(campaign)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("best fit: %s (KS p=%.3f)\n\n", best.Dist, best.KS.PValue)
-
-	pred, err := core.NewPredictor(best.Dist)
-	if err != nil {
-		log.Fatal(err)
-	}
+	gof, _ := model.GoodnessOfFit()
+	fmt.Printf("best fit: %s (KS p=%.3f)\n\n", model, gof.PValue)
 
 	fmt.Println("== predicted vs simulated multi-walk speed-ups ==")
 	cores := []int{16, 64, 256, 1024, 4096, 8192}
-	pts, err := multiwalk.MeasureSimulated(campaign.Iterations, cores, 4000, 7)
+	sim := lasvegas.New(lasvegas.WithSimReps(4000), lasvegas.WithSeed(7))
+	pts, err := sim.SimulateSpeedups(campaign, cores)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-8s %12s %12s %8s\n", "cores", "predicted", "simulated", "ideal")
 	for i, n := range cores {
-		g, err := pred.Speedup(n)
+		g, err := model.Speedup(n)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -73,17 +62,12 @@ func main() {
 	}
 
 	fmt.Println("\n== real goroutine multi-walk (4 walkers, 5 races) ==")
-	runner, err := multiwalk.SolverRunner(factory, adaptive.Params{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	seqMean := stats.Mean(campaign.Iterations)
 	for race := 0; race < 5; race++ {
-		out, err := multiwalk.Run(context.Background(), runner, multiwalk.Options{Walkers: 4, Seed: uint64(100 + race)})
+		out, err := p.Race(ctx, lasvegas.Costas, *size, 4, uint64(100+race))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("race %d: walker %d won after %d iterations (sequential mean %.0f)\n",
-			race, out.Winner, out.Iterations, seqMean)
+			race, out.Winner, out.Iterations, sum.Mean)
 	}
 }

@@ -1,7 +1,8 @@
 // Extrapolate: the paper's §8 proposal made concrete — predict the
 // parallel speed-up of a Costas instance you never ran, by learning
 // the runtime-distribution family and its parameter trends on smaller
-// instances, then validate against a real campaign at the target size.
+// instances (Predictor.LearnScaling), then validate against a real
+// campaign at the target size.
 //
 //	go run ./examples/extrapolate [-target 13]
 package main
@@ -12,74 +13,67 @@ import (
 	"fmt"
 	"log"
 
-	"lasvegas/internal/adaptive"
-	"lasvegas/internal/csp"
-	"lasvegas/internal/extrapolate"
-	"lasvegas/internal/multiwalk"
-	"lasvegas/internal/problems"
-	"lasvegas/internal/runtimes"
-	"lasvegas/internal/stats"
+	"lasvegas"
 )
 
 func main() {
 	target := flag.Int("target", 13, "target Costas order to predict without fitting")
 	runs := flag.Int("runs", 250, "sequential runs per training size")
 	flag.Parse()
+	ctx := context.Background()
 
-	collect := func(size, n int) []float64 {
-		factory := func() (csp.Problem, error) { return problems.New(problems.Costas, size) }
-		c, err := runtimes.Collect(context.Background(), factory, adaptive.Params{}, n, uint64(size), 0)
+	collect := func(size int) *lasvegas.Campaign {
+		p := lasvegas.New(lasvegas.WithRuns(*runs), lasvegas.WithSeed(uint64(size)))
+		c, err := p.Collect(ctx, lasvegas.Costas, size)
 		if err != nil {
 			log.Fatal(err)
 		}
-		return c.Iterations
+		return c
 	}
 
 	trainSizes := []int{*target - 4, *target - 3, *target - 2}
 	fmt.Printf("== training campaigns: Costas %v (%d runs each) ==\n", trainSizes, *runs)
-	obs := make([]extrapolate.Observation, len(trainSizes))
+	train := make([]*lasvegas.Campaign, len(trainSizes))
 	for i, s := range trainSizes {
-		obs[i] = extrapolate.Observation{Size: s, Sample: collect(s, *runs)}
-		fmt.Printf("costas-%d: mean %.0f iterations\n", s, stats.Mean(obs[i].Sample))
+		train[i] = collect(s)
+		fmt.Printf("costas-%d: mean %.0f iterations\n", s, train[i].IterationSummary().Mean)
 	}
 
-	model, err := extrapolate.Learn(obs, 0.05)
+	scaling, err := lasvegas.New().LearnScaling(train...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nstable family: %s (weakest KS p-value %.3f)\n", model.Family, model.MinPValue())
-	for _, sf := range model.Fits {
-		fmt.Printf("  size %d → %s\n", sf.Size, sf.Dist)
+	fmt.Printf("\nstable family: %s (weakest KS p-value %.3f)\n", scaling.Family(), scaling.WeakestPValue())
+	for _, sf := range scaling.Fits() {
+		fmt.Printf("  size %d → %s\n", sf.Size, sf.Law)
 	}
 
-	d, err := model.DistAt(*target)
+	model, err := scaling.ModelAt(*target)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pred, err := model.PredictorAt(*target)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nextrapolated costas-%d law: %s (mean %.0f)\n", *target, d, d.Mean())
+	fmt.Printf("\nextrapolated costas-%d law: %s (mean %.0f)\n", *target, model, model.Mean())
 
 	// Validation: run the target size for real and compare.
 	fmt.Printf("\n== validation campaign: costas-%d ==\n", *target)
-	actual := collect(*target, *runs)
+	actual := collect(*target)
+	actualMean := actual.IterationSummary().Mean
 	fmt.Printf("measured mean: %.0f iterations (extrapolated %.0f, ratio %.2f)\n",
-		stats.Mean(actual), d.Mean(), d.Mean()/stats.Mean(actual))
+		actualMean, model.Mean(), model.Mean()/actualMean)
 
 	cores := []int{16, 64, 256}
-	sim, err := multiwalk.MeasureSimulated(actual, cores, 4000, 3)
+	sim := lasvegas.New(lasvegas.WithSimReps(4000), lasvegas.WithSeed(3))
+	pts, err := sim.SimulateSpeedups(actual, cores)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n%-8s %22s %20s\n", "cores", "extrapolated speed-up", "measured speed-up")
 	for i, n := range cores {
-		g, err := pred.Speedup(n)
+		g, err := model.Speedup(n)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8d %22.1f %20.1f\n", n, g, sim[i].Speedup)
+		fmt.Printf("%-8d %22.1f %20.1f\n", n, g, pts[i].Speedup)
 	}
 	fmt.Println("\nno fitting was done at the target size — the prediction used only the")
 	fmt.Println("trend learned on smaller instances (the paper's §8 'from scratch' method).")

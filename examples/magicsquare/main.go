@@ -13,15 +13,7 @@ import (
 	"fmt"
 	"log"
 
-	"lasvegas/internal/adaptive"
-	"lasvegas/internal/core"
-	"lasvegas/internal/csp"
-	"lasvegas/internal/fit"
-	"lasvegas/internal/ks"
-	"lasvegas/internal/multiwalk"
-	"lasvegas/internal/problems"
-	"lasvegas/internal/runtimes"
-	"lasvegas/internal/textplot"
+	"lasvegas"
 )
 
 func main() {
@@ -29,10 +21,10 @@ func main() {
 	runs := flag.Int("runs", 150, "sequential campaign runs (paper: 662)")
 	flag.Parse()
 
-	factory := func() (csp.Problem, error) { return problems.New(problems.MagicSquare, *side) }
+	p := lasvegas.New(lasvegas.WithRuns(*runs), lasvegas.WithSeed(19))
 	fmt.Printf("== sequential campaign: magic-square-%d (N²=%d vars), %d runs ==\n",
 		*side, *side**side, *runs)
-	campaign, err := runtimes.Collect(context.Background(), factory, adaptive.Params{}, *runs, 19, 0)
+	campaign, err := p.Collect(context.Background(), lasvegas.MagicSquare, *side)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,57 +33,49 @@ func main() {
 
 	// Paper §6.2 flow: test the shifted exponential first, report its
 	// verdict, then the lognormal.
-	se, err := fit.ShiftedExponential(campaign.Iterations)
+	duel := lasvegas.New(lasvegas.WithFamilies(lasvegas.ShiftedExponential, lasvegas.LogNormal))
+	cands, err := duel.FitAll(campaign)
 	if err != nil {
 		log.Fatal(err)
 	}
-	seKS, err := ks.OneSample(campaign.Iterations, se)
-	if err != nil {
-		log.Fatal(err)
+	for _, c := range cands {
+		if c.Err != nil {
+			log.Fatal(c.Err)
+		}
+		note := ""
+		if c.Family == lasvegas.ShiftedExponential && c.KS.RejectedAt(0.05) {
+			note = " — REJECTED, as the paper found for MS"
+		}
+		fmt.Printf("%-20s %s  (KS p=%.4f%s)\n", c.Family+":", c.Law, c.KS.PValue, note)
 	}
-	fmt.Printf("shifted exponential: %s  (KS p=%.4f%s)\n", se, seKS.PValue,
-		map[bool]string{true: " — REJECTED, as the paper found for MS", false: ""}[seKS.RejectAt(0.05)])
+	fmt.Println()
 
-	ln, err := fit.LogNormal(campaign.Iterations)
-	if err != nil {
-		log.Fatal(err)
-	}
-	lnKS, err := ks.OneSample(campaign.Iterations, ln)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("lognormal:           %s  (KS p=%.4f)\n\n", ln, lnKS.PValue)
-
-	best, err := fit.Best(campaign.Iterations, 0.05,
-		fit.FamExponential, fit.FamShiftedExponential, fit.FamLogNormal)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pred, err := core.NewPredictor(best.Dist)
+	model, err := p.Fit(campaign)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	cores := []int{16, 32, 64, 128, 256}
-	sim, err := multiwalk.MeasureSimulated(campaign.Iterations, cores, 4000, 3)
+	sim := lasvegas.New(lasvegas.WithSimReps(4000), lasvegas.WithSeed(3))
+	pts, err := sim.SimulateSpeedups(campaign, cores)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-8s %12s %12s\n", "cores", "predicted", "simulated")
-	predSeries := textplot.Series{Name: "predicted"}
-	simSeries := textplot.Series{Name: "simulated multi-walk"}
+	predSeries := lasvegas.Series{Name: "predicted"}
+	simSeries := lasvegas.Series{Name: "simulated multi-walk"}
 	for i, n := range cores {
-		g, err := pred.Speedup(n)
+		g, err := model.Speedup(n)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8d %12.2f %12.2f\n", n, g, sim[i].Speedup)
+		fmt.Printf("%-8d %12.2f %12.2f\n", n, g, pts[i].Speedup)
 		predSeries.X = append(predSeries.X, float64(n))
 		predSeries.Y = append(predSeries.Y, g)
 		simSeries.X = append(simSeries.X, float64(n))
-		simSeries.Y = append(simSeries.Y, sim[i].Speedup)
+		simSeries.Y = append(simSeries.Y, pts[i].Speedup)
 	}
-	fmt.Printf("\nspeed-up limit: %.1f (paper's MS 200 fit gave ≈71.5)\n\n", pred.Limit())
-	fmt.Println(textplot.Chart("Predicted vs simulated speed-up (cf. paper Figure 11)",
-		[]textplot.Series{predSeries, simSeries}, 64, 16))
+	fmt.Printf("\nspeed-up limit: %.1f (paper's MS 200 fit gave ≈71.5)\n\n", model.Limit())
+	fmt.Println(lasvegas.Chart("Predicted vs simulated speed-up (cf. paper Figure 11)",
+		[]lasvegas.Series{predSeries, simSeries}, 64, 16))
 }

@@ -15,12 +15,7 @@ import (
 	"log"
 	"runtime"
 
-	"lasvegas/internal/adaptive"
-	"lasvegas/internal/core"
-	"lasvegas/internal/csp"
-	"lasvegas/internal/multiwalk"
-	"lasvegas/internal/problems"
-	"lasvegas/internal/stats"
+	"lasvegas"
 )
 
 func main() {
@@ -28,31 +23,28 @@ func main() {
 	races := flag.Int("races", 15, "repetitions per walker count")
 	flag.Parse()
 
-	factory := func() (csp.Problem, error) { return problems.New(problems.Queens, *queens) }
-	runner, err := multiwalk.SolverRunner(factory, adaptive.Params{})
-	if err != nil {
-		log.Fatal(err)
-	}
+	p := lasvegas.New()
 	ctx := context.Background()
 
 	// Baseline: 1-walker runs give the sequential distribution.
 	fmt.Printf("== baseline: %d sequential runs of queens-%d ==\n", 4**races, *queens)
-	pool := make([]float64, 0, 4**races)
+	baseline := &lasvegas.Campaign{Problem: fmt.Sprintf("queens-%d", *queens), Size: *queens}
 	var wallSum float64
 	for k := 0; k < 4**races; k++ {
-		out, err := multiwalk.Run(ctx, runner, multiwalk.Options{Walkers: 1, Seed: uint64(k)})
+		out, err := p.Race(ctx, lasvegas.Queens, *queens, 1, uint64(k))
 		if err != nil {
 			log.Fatal(err)
 		}
-		pool = append(pool, float64(out.Iterations))
+		baseline.Iterations = append(baseline.Iterations, float64(out.Iterations))
 		wallSum += out.Wall.Seconds()
 	}
-	seqIters := stats.Mean(pool)
-	seqWall := wallSum / float64(len(pool))
+	baseline.Runs = len(baseline.Iterations)
+	seqIters := baseline.IterationSummary().Mean
+	seqWall := wallSum / float64(baseline.Runs)
 	fmt.Printf("mean: %.0f iterations, %.3gs wall\n\n", seqIters, seqWall)
 
-	// Plug-in prediction from the baseline sample.
-	pred, err := core.NewEmpirical(pool)
+	// Plug-in prediction from the baseline campaign.
+	pred, err := p.PlugIn(baseline)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +54,7 @@ func main() {
 	for _, n := range walkerCounts {
 		var iterSum, wall float64
 		for k := 0; k < *races; k++ {
-			out, err := multiwalk.Run(ctx, runner, multiwalk.Options{Walkers: n, Seed: uint64(1000*n + k)})
+			out, err := p.Race(ctx, lasvegas.Queens, *queens, n, uint64(1000*n+k))
 			if err != nil {
 				log.Fatal(err)
 			}

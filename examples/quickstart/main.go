@@ -1,55 +1,54 @@
-// Quickstart: predict multi-walk parallel speed-ups from a sample of
-// sequential runtimes — the paper's pipeline in thirty lines.
+// Quickstart: predict multi-walk parallel speed-ups from a sequential
+// runtime campaign — the paper's pipeline on the public lasvegas API
+// in thirty lines.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
-	"lasvegas/internal/core"
-	"lasvegas/internal/dist"
-	"lasvegas/internal/fit"
-	"lasvegas/internal/xrand"
+	"lasvegas"
 )
 
 func main() {
-	// Pretend these are measured sequential runtimes of your Las Vegas
-	// algorithm (here: drawn from a shifted exponential, the paper's
-	// ALL-INTERVAL shape — min runtime 1200 iterations, mean ~110k).
-	truth, err := dist.NewShiftedExponential(1200, 1.0/109000)
+	runs := flag.Int("runs", 150, "sequential campaign runs")
+	flag.Parse()
+
+	// 1. Collect sequential runtimes of a Las Vegas solver — here a
+	//    live Costas-12 Adaptive Search campaign (swap in your own
+	//    sample via lasvegas.Campaign / LoadCampaign).
+	p := lasvegas.New(lasvegas.WithRuns(*runs), lasvegas.WithSeed(42))
+	campaign, err := p.Collect(context.Background(), lasvegas.Costas, 12)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sample := dist.SampleN(truth, xrand.New(42), 650)
+	fmt.Printf("campaign: %s (%d runs)\n", campaign.Problem, campaign.Runs)
 
-	// 1. Fit a runtime distribution (the paper's §6 estimators) and
-	//    check it with a Kolmogorov–Smirnov test.
-	best, err := fit.Best(sample, 0.05)
+	// 2. Fit a runtime distribution (the paper's §6 estimators),
+	//    KS-ranked over the candidate families.
+	model, err := p.Fit(campaign)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("fitted: %s (KS p-value %.3f)\n", best.Dist, best.KS.PValue)
+	gof, _ := model.GoodnessOfFit()
+	fmt.Printf("fitted: %s (KS p-value %.3f)\n", model, gof.PValue)
 
-	// 2. Build the predictor: G(n) = E[Y] / E[Z(n)].
-	pred, err := core.NewPredictor(best.Dist)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 3. Ask it anything.
+	// 3. Ask the model anything: G(n) = E[Y] / E[Z(n)].
 	fmt.Printf("\n%-8s %10s %12s\n", "cores", "speed-up", "efficiency")
-	for _, n := range core.StandardCores {
-		g, err := pred.Speedup(n)
+	for _, n := range []int{16, 32, 64, 128, 256} {
+		g, err := model.Speedup(n)
 		if err != nil {
 			log.Fatal(err)
 		}
-		e, _ := pred.Efficiency(n)
+		e, _ := model.Efficiency(n)
 		fmt.Printf("%-8d %10.2f %11.0f%%\n", n, g, 100*e)
 	}
-	fmt.Printf("\nspeed-up limit as n→∞: %.1f\n", pred.Limit())
-	if n, err := pred.CoresForSpeedup(40); err == nil {
+	fmt.Printf("\nspeed-up limit as n→∞: %.1f\n", model.Limit())
+	if n, err := model.CoresForSpeedup(40); err == nil {
 		fmt.Printf("cores needed for a 40× speed-up: %d\n", n)
 	}
 }

@@ -1,98 +1,75 @@
 // WalkSAT: the paper's model applied to a SAT solver — the "further
 // research will consider … SAT solvers" direction of §8, and the SAT
 // portfolio parallelism of §1. WalkSAT's flip count on satisfiable
-// random 3-SAT is a Las Vegas runtime like any other: collect its
-// distribution, fit, predict the portfolio speed-up, and verify with
-// both the simulated and the real goroutine multi-walk engines.
+// planted 3-SAT is a Las Vegas runtime like any other: collect its
+// distribution through the public API's "sat-3" problem, fit, predict
+// the portfolio speed-up, and verify with both the simulated and the
+// real goroutine multi-walk engines.
 //
-//	go run ./examples/walksat [-vars 75] [-ratio 4.1] [-runs 300]
+//	go run ./examples/walksat [-vars 150] [-runs 300]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 
-	"lasvegas/internal/core"
-	"lasvegas/internal/fit"
-	"lasvegas/internal/multiwalk"
-	"lasvegas/internal/sat"
-	"lasvegas/internal/stats"
-	"lasvegas/internal/xrand"
+	"lasvegas"
 )
 
 func main() {
-	vars := flag.Int("vars", 150, "number of boolean variables")
-	ratio := flag.Float64("ratio", 4.2, "clause/variable ratio (4.26 ≈ phase transition)")
+	vars := flag.Int("vars", 150, "number of boolean variables (clauses follow at ratio 4.2)")
 	runs := flag.Int("runs", 300, "sequential WalkSAT runs")
 	flag.Parse()
+	ctx := context.Background()
 
-	clauses := int(float64(*vars) * *ratio)
-	f, _, err := sat.RandomPlantedKSAT(*vars, clauses, 3, xrand.New(99))
+	p := lasvegas.New(lasvegas.WithRuns(*runs), lasvegas.WithSeed(99))
+	fmt.Printf("== sequential campaign: WalkSAT on planted 3-SAT, %d vars, %d runs ==\n", *vars, *runs)
+	campaign, err := p.Collect(ctx, lasvegas.SAT3, *vars)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("random planted 3-SAT: %d vars, %d clauses (ratio %.2f)\n\n", *vars, clauses, *ratio)
-
-	// Sequential campaign: the flip-count distribution.
-	pool := make([]float64, *runs)
-	for i := range pool {
-		s, err := sat.NewSolver(f, sat.Params{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		res := s.Run(xrand.New(uint64(i)))
-		if !res.Solved {
-			log.Fatalf("run %d unsolved: %v", i, res.Err)
-		}
-		pool[i] = float64(res.Flips)
-	}
-	sum := stats.Summarize(pool)
+	sum := campaign.IterationSummary()
 	fmt.Printf("flips: min %.0f  mean %.0f  median %.0f  max %.0f\n", sum.Min, sum.Mean, sum.Median, sum.Max)
 
 	// Parametric fit when a family passes KS; otherwise fall back to
 	// the nonparametric plug-in (small instances have too-discrete
 	// flip counts for a continuous family).
-	var pred *core.Predictor
-	if best, err := fit.Best(pool, 0.05, fit.FamExponential, fit.FamShiftedExponential, fit.FamLogNormal); err == nil {
-		fmt.Printf("fitted: %s (KS p=%.3f)\n\n", best.Dist, best.KS.PValue)
-		if pred, err = core.NewPredictor(best.Dist); err != nil {
+	model, err := p.Fit(campaign)
+	switch {
+	case err == nil:
+		gof, _ := model.GoodnessOfFit()
+		fmt.Printf("fitted: %s (KS p=%.3f)\n\n", model, gof.PValue)
+	case errors.Is(err, lasvegas.ErrNoAcceptableFit):
+		fmt.Printf("no parametric family accepted (%v); using the empirical plug-in\n\n", err)
+		if model, err = p.PlugIn(campaign); err != nil {
 			log.Fatal(err)
 		}
-	} else {
-		fmt.Printf("no parametric family accepted (%v); using the empirical plug-in\n\n", err)
-		var perr error
-		if pred, perr = core.NewEmpirical(pool); perr != nil {
-			log.Fatal(perr)
-		}
+	default:
+		log.Fatal(err)
 	}
+
 	cores := []int{2, 4, 8, 16, 64}
-	sim, err := multiwalk.MeasureSimulated(pool, cores, 4000, 7)
+	sim := lasvegas.New(lasvegas.WithSimReps(4000), lasvegas.WithSeed(7))
+	pts, err := sim.SimulateSpeedups(campaign, cores)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-8s %12s %12s\n", "cores", "predicted", "simulated")
 	for i, n := range cores {
-		g, err := pred.Speedup(n)
+		g, err := model.Speedup(n)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8d %12.2f %12.2f\n", n, g, sim[i].Speedup)
+		fmt.Printf("%-8d %12.2f %12.2f\n", n, g, pts[i].Speedup)
 	}
 
 	// Real portfolio: goroutine walkers racing on the same formula.
-	runner := func(ctx context.Context, r *xrand.Rand) multiwalk.WalkResult {
-		s, err := sat.NewSolver(f, sat.Params{})
-		if err != nil {
-			return multiwalk.WalkResult{}
-		}
-		res := s.RunContext(ctx, r)
-		return multiwalk.WalkResult{Iterations: res.Flips, Solved: res.Solved}
-	}
 	fmt.Println("\n== real goroutine portfolio (8 walkers, 5 races) ==")
 	for race := 0; race < 5; race++ {
-		out, err := multiwalk.Run(context.Background(), runner, multiwalk.Options{Walkers: 8, Seed: uint64(500 + race)})
+		out, err := p.Race(ctx, lasvegas.SAT3, *vars, 8, uint64(500+race))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -60,6 +60,32 @@ type Dist interface {
 	String() string
 }
 
+// BatchQuantiler is implemented by families whose quantile function
+// can be evaluated over a whole batch of probabilities at once,
+// skipping the per-point interface dispatch of Dist.Quantile. The
+// quantile-domain quadrature of internal/orderstat evaluates hundreds
+// of quantiles per integration level, which makes this the hot
+// interface for prediction latency (ROADMAP "batched quantile
+// evaluation").
+type BatchQuantiler interface {
+	// QuantileBatch writes Quantile(ps[i]) into dst[i] for every i.
+	// ps and dst must have equal length; dst may alias ps.
+	QuantileBatch(ps, dst []float64)
+}
+
+// Quantiles evaluates d.Quantile over ps into dst, routing through
+// the family's QuantileBatch when it has one and falling back to the
+// pointwise interface otherwise. dst may alias ps.
+func Quantiles(d Dist, ps, dst []float64) {
+	if bq, ok := d.(BatchQuantiler); ok {
+		bq.QuantileBatch(ps, dst)
+		return
+	}
+	for i, p := range ps {
+		dst[i] = d.Quantile(p)
+	}
+}
+
 // SampleN draws n variates into a fresh slice — the campaign
 // synthesizer used by tests, benchmarks and paper-mode experiments.
 func SampleN(d Dist, r *xrand.Rand, n int) []float64 {

@@ -98,9 +98,11 @@ func TestPDFIsDerivativeOfCDF(t *testing.T) {
 // TestSampleMatchesMoments Monte-Carlo validates every sampler
 // against the closed-form mean and variance.
 func TestSampleMatchesMoments(t *testing.T) {
-	r := xrand.New(123)
 	const trials = 200000
 	for name, d := range laws(t) {
+		// Per-law stream: map iteration order is random, so sharing one
+		// stream across laws made the heavy-tailed variance checks flaky.
+		r := xrand.New(123)
 		var sum, sum2 float64
 		for i := 0; i < trials; i++ {
 			x := d.Sample(r)
@@ -118,9 +120,9 @@ func TestSampleMatchesMoments(t *testing.T) {
 // just in moments: the empirical CDF of a large sample must track the
 // analytic CDF at the quartiles.
 func TestSampleMatchesCDF(t *testing.T) {
-	r := xrand.New(321)
 	const trials = 100000
 	for name, d := range laws(t) {
+		r := xrand.New(321) // per-law stream, independent of map order
 		for _, p := range []float64{0.25, 0.5, 0.75} {
 			x := d.Quantile(p)
 			count := 0

@@ -63,6 +63,23 @@ func (d LogNormal) Quantile(p float64) float64 {
 	return d.Shift + math.Exp(d.Mu+d.Sigma*specfn.NormQuantile(p))
 }
 
+// QuantileBatch implements BatchQuantiler: Quantile over a batch
+// with the normal-quantile call kept but the interface dispatch and
+// per-point parameter loads removed — the lognormal is the family the
+// order-statistic quadrature hits hardest (paper §6.2).
+func (d LogNormal) QuantileBatch(ps, dst []float64) {
+	for i, p := range ps {
+		switch {
+		case p <= 0:
+			dst[i] = d.Shift
+		case p >= 1:
+			dst[i] = math.Inf(1)
+		default:
+			dst[i] = d.Shift + math.Exp(d.Mu+d.Sigma*specfn.NormQuantile(p))
+		}
+	}
+}
+
 // Mean implements Dist: x0 + exp(μ + σ²/2).
 func (d LogNormal) Mean() float64 {
 	return d.Shift + math.Exp(d.Mu+0.5*d.Sigma*d.Sigma)

@@ -6,7 +6,7 @@ import (
 	"strings"
 	"testing"
 
-	"lasvegas/internal/problems"
+	"lasvegas"
 )
 
 func TestIDsCoverEveryTableAndFigure(t *testing.T) {
@@ -134,10 +134,10 @@ func TestLiveModeEndToEnd(t *testing.T) {
 		SimReps: 400,
 		Cores:   []int{4, 16},
 		Seed:    7,
-		Sizes: map[problems.Kind]int{
-			problems.AllInterval: 14,
-			problems.MagicSquare: 5,
-			problems.Costas:      9,
+		Sizes: map[lasvegas.Problem]int{
+			lasvegas.AllInterval: 14,
+			lasvegas.MagicSquare: 5,
+			lasvegas.Costas:      9,
 		},
 	})
 	ctx := context.Background()
@@ -170,11 +170,11 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestLabelPaperVsLive(t *testing.T) {
 	lp := NewLab(Config{Paper: true})
-	if lp.label(problems.AllInterval) != "AI 700" {
-		t.Errorf("paper label %q", lp.label(problems.AllInterval))
+	if lp.label(lasvegas.AllInterval) != "AI 700" {
+		t.Errorf("paper label %q", lp.label(lasvegas.AllInterval))
 	}
-	ll := NewLab(Config{Sizes: map[problems.Kind]int{problems.AllInterval: 14}})
-	if ll.label(problems.AllInterval) != "AI 14" {
-		t.Errorf("live label %q", ll.label(problems.AllInterval))
+	ll := NewLab(Config{Sizes: map[lasvegas.Problem]int{lasvegas.AllInterval: 14}})
+	if ll.label(lasvegas.AllInterval) != "AI 14" {
+		t.Errorf("live label %q", ll.label(lasvegas.AllInterval))
 	}
 }

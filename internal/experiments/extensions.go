@@ -14,9 +14,8 @@ import (
 	"fmt"
 	"sort"
 
-	"lasvegas/internal/core"
+	"lasvegas"
 	"lasvegas/internal/paperdata"
-	"lasvegas/internal/problems"
 	"lasvegas/internal/textplot"
 )
 
@@ -27,9 +26,9 @@ func ttt(l *Lab, ctx context.Context) (*Artifact, error) {
 	for _, kind := range paperKinds {
 		paperRuns := paperdata.RunsAI
 		switch kind {
-		case problems.MagicSquare:
+		case lasvegas.MagicSquare:
 			paperRuns = paperdata.RunsMS
-		case problems.Costas:
+		case lasvegas.Costas:
 			paperRuns = paperdata.RunsCostas
 		}
 		sample, d, info, err := l.campaignOrSynthetic(ctx, kind, paperRuns)
@@ -92,17 +91,23 @@ func bootstrapCI(l *Lab, ctx context.Context) (*Artifact, error) {
 	for _, kind := range paperKinds {
 		paperRuns := paperdata.RunsAI
 		switch kind {
-		case problems.MagicSquare:
+		case lasvegas.MagicSquare:
 			paperRuns = paperdata.RunsMS
-		case problems.Costas:
+		case lasvegas.Costas:
 			paperRuns = paperdata.RunsCostas
 		}
 		sample, _, _, err := l.campaignOrSynthetic(ctx, kind, paperRuns)
 		if err != nil {
 			return nil, err
 		}
-		cis, err := core.BootstrapCI(sample, l.cfg.Cores, core.PlugInFitter,
-			resamples, 0.95, l.cfg.Seed^hashKind(kind)^0xB007)
+		// Through the public API: the plug-in percentile bootstrap on a
+		// campaign wrapping the sample. The predictor XORs its own
+		// bootstrap tag into the seed, reproducing the historical
+		// Seed^hashKind^0xB007 stream.
+		boot := lasvegas.New(
+			lasvegas.WithBootstrap(resamples, 0.95),
+			lasvegas.WithSeed(l.cfg.Seed^hashKind(kind)))
+		cis, err := boot.BootstrapCI(ctx, &lasvegas.Campaign{Problem: l.label(kind), Iterations: sample}, l.cfg.Cores)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"lasvegas"
 	"lasvegas/internal/core"
 	"lasvegas/internal/dist"
 	"lasvegas/internal/multiwalk"
@@ -15,6 +16,22 @@ import (
 	"lasvegas/internal/textplot"
 	"lasvegas/internal/xrand"
 )
+
+// speeduper is the slice of the prediction surface the figures need;
+// both the public lasvegas.Model (live fits) and core.Predictor
+// (paper-mode laws) satisfy it.
+type speeduper interface {
+	Speedup(n int) (float64, error)
+	Limit() float64
+}
+
+// law is the slice of a fitted distribution the histogram and TTT
+// figures need; satisfied by dist.Dist and *lasvegas.Model.
+type law interface {
+	CDF(x float64) float64
+	PDF(x float64) float64
+	String() string
+}
 
 const (
 	chartW = 72
@@ -91,7 +108,7 @@ func fig2(l *Lab, ctx context.Context) (*Artifact, error) {
 
 // predictionCurveSeries evaluates the predicted speed-up on an
 // integer grid of ~points core counts between 1 and maxCores.
-func predictionCurveSeries(p *core.Predictor, maxCores, points int, name string) (textplot.Series, error) {
+func predictionCurveSeries(p speeduper, maxCores, points int, name string) (textplot.Series, error) {
 	if points < 2 {
 		points = 32
 	}
@@ -113,11 +130,7 @@ func predictionCurveSeries(p *core.Predictor, maxCores, points int, name string)
 	return s, nil
 }
 
-func speedupFigure(title, desc string, d dist.Dist, maxCores int, withIdeal, withLimit bool) (*Artifact, error) {
-	p, err := core.NewPredictor(d)
-	if err != nil {
-		return nil, err
-	}
+func speedupFigure(title, desc string, p speeduper, maxCores int, withIdeal, withLimit bool) (*Artifact, error) {
 	pred, err := predictionCurveSeries(p, maxCores, 40, "predicted")
 	if err != nil {
 		return nil, err
@@ -161,10 +174,14 @@ func fig3(l *Lab, ctx context.Context) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
+	p, err := core.NewPredictor(d)
+	if err != nil {
+		return nil, err
+	}
 	return speedupFigure(
 		"Predicted speed-up, exponential x0=100, λ=1/1000",
 		"Paper Figure 3: G(n) = (x0+1/λ)/(x0+1/(nλ)), limit 1+1/(x0·λ) = 11.",
-		d, 256, false, true)
+		p, 256, false, true)
 }
 
 // fig4: min-distributions of the lognormal μ=5, σ=1.
@@ -186,18 +203,22 @@ func fig5(l *Lab, ctx context.Context) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
+	p, err := core.NewPredictor(d)
+	if err != nil {
+		return nil, err
+	}
 	return speedupFigure(
 		"Predicted speed-up, lognormal μ=5, σ=1",
 		"Paper Figure 5: moments via quantile-domain quadrature (Nadarajah 2008).",
-		d, 256, false, false)
+		p, 256, false, false)
 }
 
 // measuredSeries renders measured speed-ups for a benchmark.
-func (l *Lab) measuredSeries(ctx context.Context, kind problems.Kind, cores []int) (textplot.Series, error) {
+func (l *Lab) measuredSeries(ctx context.Context, kind lasvegas.Problem, cores []int) (textplot.Series, error) {
 	name := l.label(kind)
 	if l.cfg.Paper {
 		for _, row := range paperdata.Table4IterSpeedups {
-			if lbl, _ := paperdata.PaperLabel(kind); lbl == row.Problem {
+			if lbl, _ := paperdata.PaperLabel(problems.Kind(kind)); lbl == row.Problem {
 				s := textplot.Series{Name: row.Problem}
 				for i, k := range paperdata.Cores {
 					s.X = append(s.X, float64(k))
@@ -222,11 +243,11 @@ func (l *Lab) measuredSeries(ctx context.Context, kind problems.Kind, cores []in
 
 // fig6: measured speed-ups of the CSPLib benchmarks vs ideal.
 func fig6(l *Lab, ctx context.Context) (*Artifact, error) {
-	ms, err := l.measuredSeries(ctx, problems.MagicSquare, l.cfg.Cores)
+	ms, err := l.measuredSeries(ctx, lasvegas.MagicSquare, l.cfg.Cores)
 	if err != nil {
 		return nil, err
 	}
-	ai, err := l.measuredSeries(ctx, problems.AllInterval, l.cfg.Cores)
+	ai, err := l.measuredSeries(ctx, lasvegas.AllInterval, l.cfg.Cores)
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +264,7 @@ func fig6(l *Lab, ctx context.Context) (*Artifact, error) {
 
 // fig7: measured speed-up of COSTAS vs ideal (near-linear).
 func fig7(l *Lab, ctx context.Context) (*Artifact, error) {
-	cs, err := l.measuredSeries(ctx, problems.Costas, l.cfg.Cores)
+	cs, err := l.measuredSeries(ctx, lasvegas.Costas, l.cfg.Cores)
 	if err != nil {
 		return nil, err
 	}
@@ -262,9 +283,9 @@ func fig7(l *Lab, ctx context.Context) (*Artifact, error) {
 // a benchmark: the live campaign + live fit, or (paper mode) a
 // seeded synthetic sample drawn from the paper's fitted distribution
 // with the paper's sample size.
-func (l *Lab) campaignOrSynthetic(ctx context.Context, kind problems.Kind, paperRuns int) ([]float64, dist.Dist, string, error) {
+func (l *Lab) campaignOrSynthetic(ctx context.Context, kind lasvegas.Problem, paperRuns int) ([]float64, law, string, error) {
 	if l.cfg.Paper {
-		d, ok := paperdata.Fitted(kind)
+		d, ok := paperdata.Fitted(problems.Kind(kind))
 		if !ok {
 			return nil, nil, "", fmt.Errorf("experiments: no paper fit for %s", kind)
 		}
@@ -279,11 +300,12 @@ func (l *Lab) campaignOrSynthetic(ctx context.Context, kind problems.Kind, paper
 	if err != nil {
 		return nil, nil, "", err
 	}
-	desc := fmt.Sprintf("live campaign (%d runs), best fit %s (KS p=%.3f)", len(c.Iterations), best.Dist, best.KS.PValue)
-	return c.Iterations, best.Dist, desc, nil
+	gof, _ := best.GoodnessOfFit()
+	desc := fmt.Sprintf("live campaign (%d runs), best fit %s (KS p=%.3f)", len(c.Iterations), best, gof.PValue)
+	return c.Iterations, best, desc, nil
 }
 
-func histogramFigure(l *Lab, ctx context.Context, kind problems.Kind, paperRuns int, figTitle, paperRef string) (*Artifact, error) {
+func histogramFigure(l *Lab, ctx context.Context, kind lasvegas.Problem, paperRuns int, figTitle, paperRef string) (*Artifact, error) {
 	sample, d, desc, err := l.campaignOrSynthetic(ctx, kind, paperRuns)
 	if err != nil {
 		return nil, err
@@ -314,7 +336,7 @@ func histogramFigure(l *Lab, ctx context.Context, kind problems.Kind, paperRuns 
 	}, nil
 }
 
-func evalPDF(d dist.Dist, xs []float64) []float64 {
+func evalPDF(d law, xs []float64) []float64 {
 	ys := make([]float64, len(xs))
 	for i, x := range xs {
 		ys[i] = d.PDF(x)
@@ -324,43 +346,47 @@ func evalPDF(d dist.Dist, xs []float64) []float64 {
 
 // fig8: AI histogram with fitted shifted exponential.
 func fig8(l *Lab, ctx context.Context) (*Artifact, error) {
-	return histogramFigure(l, ctx, problems.AllInterval, paperdata.RunsAI,
+	return histogramFigure(l, ctx, lasvegas.AllInterval, paperdata.RunsAI,
 		"Observed iterations and fitted law — ALL-INTERVAL",
 		"Paper Figure 8: 720 runs of AI 700 against the shifted exponential (KS p = 0.774).")
 }
 
 // fig10: MS histogram with fitted shifted lognormal.
 func fig10(l *Lab, ctx context.Context) (*Artifact, error) {
-	return histogramFigure(l, ctx, problems.MagicSquare, paperdata.RunsMS,
+	return histogramFigure(l, ctx, lasvegas.MagicSquare, paperdata.RunsMS,
 		"Observed iterations and fitted law — MAGIC-SQUARE",
 		"Paper Figure 10: 662 runs of MS 200 against the shifted lognormal (μ=12.0275, σ=1.3398).")
 }
 
 // fig12: Costas histogram with fitted exponential.
 func fig12(l *Lab, ctx context.Context) (*Artifact, error) {
-	return histogramFigure(l, ctx, problems.Costas, paperdata.RunsCostas,
+	return histogramFigure(l, ctx, lasvegas.Costas, paperdata.RunsCostas,
 		"Observed iterations and fitted law — COSTAS ARRAY",
 		"Paper Figure 12: 638 runs of Costas 21 against the exponential (KS p = 0.752).")
 }
 
-func predictionFigure(l *Lab, ctx context.Context, kind problems.Kind, figTitle, paperRef string, withLimit bool) (*Artifact, error) {
-	var d dist.Dist
+func predictionFigure(l *Lab, ctx context.Context, kind lasvegas.Problem, figTitle, paperRef string, withLimit bool) (*Artifact, error) {
+	var sm speeduper
 	var desc string
 	if l.cfg.Paper {
-		pd, ok := paperdata.Fitted(kind)
+		pd, ok := paperdata.Fitted(problems.Kind(kind))
 		if !ok {
 			return nil, fmt.Errorf("experiments: no paper fit for %s", kind)
 		}
-		d, desc = pd, "predicted from the paper's fitted parameters"
+		p, err := core.NewPredictor(pd)
+		if err != nil {
+			return nil, err
+		}
+		sm, desc = p, "predicted from the paper's fitted parameters"
 	} else {
 		best, err := l.BestFit(ctx, kind)
 		if err != nil {
 			return nil, err
 		}
-		d, desc = best.Dist, fmt.Sprintf("predicted from the live fit %s", best.Dist)
+		sm, desc = best, fmt.Sprintf("predicted from the live fit %s", best)
 	}
 	maxC := l.cfg.Cores[len(l.cfg.Cores)-1]
-	a, err := speedupFigure(figTitle, paperRef+"\n"+desc, d, maxC, true, withLimit)
+	a, err := speedupFigure(figTitle, paperRef+"\n"+desc, sm, maxC, true, withLimit)
 	if err != nil {
 		return nil, err
 	}
@@ -369,21 +395,21 @@ func predictionFigure(l *Lab, ctx context.Context, kind problems.Kind, figTitle,
 
 // fig9: predicted AI speed-up with its finite limit and the ideal.
 func fig9(l *Lab, ctx context.Context) (*Artifact, error) {
-	return predictionFigure(l, ctx, problems.AllInterval,
+	return predictionFigure(l, ctx, lasvegas.AllInterval,
 		"Predicted speed-up — ALL-INTERVAL",
 		"Paper Figure 9: shifted exponential ⇒ finite limit (90.71 for the paper's fit).", true)
 }
 
 // fig11: predicted MS speed-up (numerical integration).
 func fig11(l *Lab, ctx context.Context) (*Artifact, error) {
-	return predictionFigure(l, ctx, problems.MagicSquare,
+	return predictionFigure(l, ctx, lasvegas.MagicSquare,
 		"Predicted speed-up — MAGIC-SQUARE",
 		"Paper Figure 11: shifted lognormal, moments by numerical integration.", true)
 }
 
 // fig13: predicted Costas speed-up (linear).
 func fig13(l *Lab, ctx context.Context) (*Artifact, error) {
-	return predictionFigure(l, ctx, problems.Costas,
+	return predictionFigure(l, ctx, lasvegas.Costas,
 		"Predicted speed-up — COSTAS ARRAY",
 		"Paper Figure 13: x0 ≈ 0 ⇒ strictly linear prediction G(n) = n.", false)
 }
@@ -399,7 +425,7 @@ func fig14(l *Lab, ctx context.Context) (*Artifact, error) {
 		pool = dist.SampleN(d, xrand.New(l.cfg.Seed^0xF14), 4000)
 		desc = "pool: 4000 draws from the paper's fitted exponential (JUGENE experiment reported in [16])"
 	} else {
-		c, err := l.Campaign(ctx, problems.Costas)
+		c, err := l.Campaign(ctx, lasvegas.Costas)
 		if err != nil {
 			return nil, err
 		}

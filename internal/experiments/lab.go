@@ -8,12 +8,9 @@ import (
 	"strings"
 	"sync"
 
-	"lasvegas/internal/adaptive"
-	"lasvegas/internal/csp"
-	"lasvegas/internal/fit"
+	"lasvegas"
 	"lasvegas/internal/paperdata"
 	"lasvegas/internal/problems"
-	"lasvegas/internal/runtimes"
 )
 
 // Config tunes the experiment harness. Zero values fall back to the
@@ -34,17 +31,17 @@ type Config struct {
 	// Seed makes the whole harness deterministic (default 1).
 	Seed uint64
 	// Workers bounds each worker pool of the harness independently:
-	// the goroutines of one live campaign (runtimes.Collect) and the
-	// number of artifacts RunAll regenerates concurrently (default
-	// GOMAXPROCS; 1 forces fully serial execution). In live mode the
-	// two levels nest, so up to Workers² goroutines can be runnable
-	// at once; GOMAXPROCS still caps the threads actually running,
-	// the nesting only adds scheduler pressure.
+	// the goroutines of one live campaign and the number of artifacts
+	// RunAll regenerates concurrently (default GOMAXPROCS; 1 forces
+	// fully serial execution). In live mode the two levels nest, so up
+	// to Workers² goroutines can be runnable at once; GOMAXPROCS still
+	// caps the threads actually running, the nesting only adds
+	// scheduler pressure.
 	Workers int
 	// Sizes overrides the per-problem instance sizes (defaults from
-	// problems.DefaultSize; the paper's sizes via problems.PaperSize
+	// Problem.DefaultSize; the paper's sizes via Problem.PaperSize
 	// make live campaigns take hours, exactly as in the paper).
-	Sizes map[problems.Kind]int
+	Sizes map[lasvegas.Problem]int
 }
 
 func (c Config) withDefaults() Config {
@@ -61,11 +58,11 @@ func (c Config) withDefaults() Config {
 		c.Seed = 1
 	}
 	if c.Sizes == nil {
-		c.Sizes = map[problems.Kind]int{}
+		c.Sizes = map[lasvegas.Problem]int{}
 	}
 	for _, kind := range paperKinds {
 		if c.Sizes[kind] <= 0 {
-			c.Sizes[kind] = problems.DefaultSize(kind)
+			c.Sizes[kind] = kind.DefaultSize()
 		}
 	}
 	return c
@@ -73,19 +70,22 @@ func (c Config) withDefaults() Config {
 
 // paperKinds are the three benchmarks of the evaluation, in the
 // paper's table order.
-var paperKinds = []problems.Kind{problems.MagicSquare, problems.AllInterval, problems.Costas}
+var paperKinds = []lasvegas.Problem{lasvegas.MagicSquare, lasvegas.AllInterval, lasvegas.Costas}
 
 // Lab caches live campaigns and fits across experiments so that
 // "run everything" collects each benchmark's runtimes exactly once.
-// All methods are safe for concurrent use: memoization uses per-kind
-// once-cells, so concurrent artifact generators needing the same
-// campaign block on a single collection instead of duplicating it.
+// Campaign collection and model selection go through the public
+// lasvegas API — the Lab is both the paper harness and the standing
+// integration test of that surface. All methods are safe for
+// concurrent use: memoization uses per-kind once-cells, so concurrent
+// artifact generators needing the same campaign block on a single
+// collection instead of duplicating it.
 type Lab struct {
 	cfg Config
 
 	mu        sync.Mutex // guards the two maps (not the cells' contents)
-	campaigns map[problems.Kind]*campaignCell
-	fits      map[problems.Kind]*fitCell
+	campaigns map[lasvegas.Problem]*campaignCell
+	fits      map[lasvegas.Problem]*fitCell
 }
 
 // campaignCell memoizes one benchmark's live campaign. Only success
@@ -94,23 +94,22 @@ type Lab struct {
 // serializes concurrent callers, so one collection is shared.
 type campaignCell struct {
 	mu sync.Mutex
-	c  *runtimes.Campaign
+	c  *lasvegas.Campaign
 }
 
 // fitCell memoizes one benchmark's model selection (success only,
 // like campaignCell).
 type fitCell struct {
-	mu  sync.Mutex
-	r   fit.Result
-	set bool
+	mu sync.Mutex
+	m  *lasvegas.Model
 }
 
 // NewLab returns a Lab with the given configuration.
 func NewLab(cfg Config) *Lab {
 	return &Lab{
 		cfg:       cfg.withDefaults(),
-		campaigns: map[problems.Kind]*campaignCell{},
-		fits:      map[problems.Kind]*fitCell{},
+		campaigns: map[lasvegas.Problem]*campaignCell{},
+		fits:      map[lasvegas.Problem]*fitCell{},
 	}
 }
 
@@ -118,32 +117,44 @@ func NewLab(cfg Config) *Lab {
 func (l *Lab) Config() Config { return l.cfg }
 
 // label returns the display name of a benchmark in the current mode.
-func (l *Lab) label(kind problems.Kind) string {
+func (l *Lab) label(kind lasvegas.Problem) string {
 	if l.cfg.Paper {
-		if s, ok := paperdata.PaperLabel(kind); ok {
+		if s, ok := paperdata.PaperLabel(problems.Kind(kind)); ok {
 			return s
 		}
 	}
 	return fmt.Sprintf("%s %d", shortName(kind), l.cfg.Sizes[kind])
 }
 
-func shortName(kind problems.Kind) string {
+func shortName(kind lasvegas.Problem) string {
 	switch kind {
-	case problems.AllInterval:
+	case lasvegas.AllInterval:
 		return "AI"
-	case problems.MagicSquare:
+	case lasvegas.MagicSquare:
 		return "MS"
-	case problems.Costas:
+	case lasvegas.Costas:
 		return "Costas"
-	case problems.Queens:
+	case lasvegas.Queens:
 		return "Queens"
+	case lasvegas.SAT3:
+		return "SAT3"
 	}
 	return string(kind)
 }
 
+// predictor builds the public-API predictor of one benchmark, with
+// the per-kind seed offset that keeps campaigns independent.
+func (l *Lab) predictor(kind lasvegas.Problem) *lasvegas.Predictor {
+	return lasvegas.New(
+		lasvegas.WithRuns(l.cfg.Runs),
+		lasvegas.WithSeed(l.cfg.Seed^hashKind(kind)),
+		lasvegas.WithWorkers(l.cfg.Workers),
+	)
+}
+
 // Campaign returns the (cached) live sequential campaign for kind.
 // Concurrent callers share one collection.
-func (l *Lab) Campaign(ctx context.Context, kind problems.Kind) (*runtimes.Campaign, error) {
+func (l *Lab) Campaign(ctx context.Context, kind lasvegas.Problem) (*lasvegas.Campaign, error) {
 	l.mu.Lock()
 	cell, ok := l.campaigns[kind]
 	if !ok {
@@ -157,8 +168,7 @@ func (l *Lab) Campaign(ctx context.Context, kind problems.Kind) (*runtimes.Campa
 		return cell.c, nil
 	}
 	size := l.cfg.Sizes[kind]
-	factory := func() (csp.Problem, error) { return problems.New(kind, size) }
-	c, err := runtimes.Collect(ctx, factory, adaptive.Params{}, l.cfg.Runs, l.cfg.Seed^hashKind(kind), l.cfg.Workers)
+	c, err := l.predictor(kind).Collect(ctx, kind, size)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: campaign %s-%d: %w", kind, size, err)
 	}
@@ -167,9 +177,10 @@ func (l *Lab) Campaign(ctx context.Context, kind problems.Kind) (*runtimes.Campa
 }
 
 // BestFit runs the paper's §6 model-selection loop on the live
-// campaign of kind: candidate families exponential, shifted
-// exponential and lognormal, ranked by KS p-value.
-func (l *Lab) BestFit(ctx context.Context, kind problems.Kind) (fit.Result, error) {
+// campaign of kind through the public API: candidate families
+// exponential, shifted exponential and lognormal, ranked by KS
+// p-value, best non-rejected fit wins.
+func (l *Lab) BestFit(ctx context.Context, kind lasvegas.Problem) (*lasvegas.Model, error) {
 	l.mu.Lock()
 	cell, ok := l.fits[kind]
 	if !ok {
@@ -179,29 +190,30 @@ func (l *Lab) BestFit(ctx context.Context, kind problems.Kind) (fit.Result, erro
 	l.mu.Unlock()
 	cell.mu.Lock()
 	defer cell.mu.Unlock()
-	if cell.set {
-		return cell.r, nil
+	if cell.m != nil {
+		return cell.m, nil
 	}
 	c, err := l.Campaign(ctx, kind)
 	if err != nil {
-		return fit.Result{}, err
+		return nil, err
 	}
-	results, err := fit.Auto(c.Iterations,
-		fit.FamExponential, fit.FamShiftedExponential, fit.FamLogNormal)
+	cands, err := l.predictor(kind).FitAll(c)
 	if err != nil {
-		return fit.Result{}, err
+		return nil, fmt.Errorf("experiments: fitting %s: %w", kind, err)
 	}
-	best := results[0]
-	if best.Err != nil {
-		return fit.Result{}, fmt.Errorf("experiments: no family fitted %s: %w", kind, best.Err)
+	for _, cand := range cands {
+		// Highest KS p-value first; like the paper, report the best
+		// candidate even when the verdict is a rejection.
+		if cand.Model != nil {
+			cell.m = cand.Model
+			return cand.Model, nil
+		}
 	}
-	cell.r = best
-	cell.set = true
-	return best, nil
+	return nil, fmt.Errorf("experiments: no family fitted %s", kind)
 }
 
 // hashKind gives each benchmark an independent seed offset.
-func hashKind(kind problems.Kind) uint64 {
+func hashKind(kind lasvegas.Problem) uint64 {
 	var h uint64 = 1469598103934665603
 	for _, b := range []byte(kind) {
 		h = (h ^ uint64(b)) * 1099511628211

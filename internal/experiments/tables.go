@@ -4,11 +4,11 @@ import (
 	"context"
 	"fmt"
 
+	"lasvegas"
 	"lasvegas/internal/core"
 	"lasvegas/internal/multiwalk"
 	"lasvegas/internal/paperdata"
 	"lasvegas/internal/problems"
-	"lasvegas/internal/runtimes"
 )
 
 // table1 regenerates "Sequential execution times (in seconds)".
@@ -42,7 +42,7 @@ func summaryTable(l *Lab, ctx context.Context, title string, iterations bool) (*
 		if err != nil {
 			return nil, err
 		}
-		var row runtimes.SummaryRow
+		var row lasvegas.Summary
 		if iterations {
 			row = c.IterationSummary()
 		} else {
@@ -104,7 +104,7 @@ func speedupTable(l *Lab, ctx context.Context, title string, iterations bool) (*
 
 // measuredSpeedups measures Z(n) via min-resampling on the campaign
 // pool in the requested metric.
-func (l *Lab) measuredSpeedups(ctx context.Context, kind problems.Kind, cores []int, iterations bool) ([]multiwalk.SpeedupPoint, error) {
+func (l *Lab) measuredSpeedups(ctx context.Context, kind lasvegas.Problem, cores []int, iterations bool) ([]multiwalk.SpeedupPoint, error) {
 	c, err := l.Campaign(ctx, kind)
 	if err != nil {
 		return nil, err
@@ -132,7 +132,7 @@ func table5(l *Lab, ctx context.Context) (*Artifact, error) {
 		// predicted rows (see core's tests).
 		for i, kind := range paperKinds {
 			exp := paperdata.Table4IterSpeedups[i]
-			fitted, _ := paperdata.Fitted(kind)
+			fitted, _ := paperdata.Fitted(problems.Kind(kind))
 			pred, err := core.NewPredictor(fitted)
 			if err != nil {
 				return nil, err
@@ -164,17 +164,14 @@ func table5(l *Lab, ctx context.Context) (*Artifact, error) {
 		if err != nil {
 			return nil, err
 		}
-		pred, err := core.NewPredictor(best.Dist)
-		if err != nil {
-			return nil, err
-		}
+		gof, _ := best.GoodnessOfFit()
 		expCells := []string{l.label(kind), "experimental"}
 		for _, p := range pts {
 			expCells = append(expCells, f1(p.Speedup))
 		}
-		predCells := []string{fmt.Sprintf("(%s, p=%.3f)", best.Family, best.KS.PValue), "predicted"}
+		predCells := []string{fmt.Sprintf("(%s, p=%.3f)", best.Family(), gof.PValue), "predicted"}
 		for _, k := range l.cfg.Cores {
-			g, err := pred.Speedup(k)
+			g, err := best.Speedup(k)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,17 @@
+package orderstat
+
+import (
+	"testing"
+
+	"lasvegas/internal/dist"
+)
+
+func BenchmarkMomentLogNormal(b *testing.B) {
+	d, _ := dist.NewLogNormal(6210, 12.0275, 1.3398)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Moment(d, 256, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package lasvegas
+
+import (
+	"context"
+	"fmt"
+
+	"lasvegas/internal/core"
+	"lasvegas/internal/dist"
+	"lasvegas/internal/fit"
+	"lasvegas/internal/ks"
+	"lasvegas/internal/restart"
+)
+
+// Family identifies a candidate runtime-distribution family.
+type Family string
+
+// Candidate families (§6 of the paper plus the extended set).
+const (
+	Exponential        Family = "exponential"
+	ShiftedExponential Family = "shifted-exponential"
+	LogNormal          Family = "lognormal"
+	Normal             Family = "normal"
+	Gamma              Family = "gamma"
+	Weibull            Family = "weibull"
+	Levy               Family = "levy"
+	// Empirical is the nonparametric plug-in, produced by PlugIn
+	// rather than fitted by Fit.
+	Empirical Family = "empirical"
+)
+
+// DefaultFamilies returns the candidate set the paper accepts fits
+// from: the two exponential variants and the lognormal.
+func DefaultFamilies() []Family {
+	return []Family{Exponential, ShiftedExponential, LogNormal}
+}
+
+// AllFamilies returns every parametric family the fitter knows,
+// including the gaussian and Lévy the paper reports rejecting.
+func AllFamilies() []Family {
+	return []Family{Exponential, ShiftedExponential, LogNormal, Normal, Gamma, Weibull, Levy}
+}
+
+// GoodnessOfFit is the verdict of a distributional test (KS or
+// Anderson–Darling) on a fitted law.
+type GoodnessOfFit struct {
+	// Stat is the test statistic (sup|F̂−F| for KS, A² for AD).
+	Stat float64
+	// PValue is the asymptotic p-value.
+	PValue float64
+	// N is the sample size the test saw.
+	N int
+}
+
+// RejectedAt reports whether the fit is rejected at significance
+// level alpha.
+func (g GoodnessOfFit) RejectedAt(alpha float64) bool { return g.PValue < alpha }
+
+// Model is a fitted (or plug-in) sequential runtime law together with
+// the paper's speed-up predictor on top of it: G(n) = E[Y]/E[Z(n)]
+// with Z(n) the minimum of n i.i.d. copies of Y.
+type Model struct {
+	family Family
+	law    dist.Dist
+	gof    GoodnessOfFit
+	tested bool
+	alpha  float64
+	pred   *core.Predictor
+}
+
+func newModel(family Family, law dist.Dist, alpha float64) (*Model, error) {
+	pred, err := core.NewPredictor(law)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{family: family, law: law, alpha: alpha, pred: pred}, nil
+}
+
+// Family returns the distribution family of the fitted law.
+func (m *Model) Family() Family { return m.family }
+
+// String renders the fitted law with its parameters.
+func (m *Model) String() string { return m.law.String() }
+
+// GoodnessOfFit returns the KS verdict of the fit; ok is false for
+// models without one (the empirical plug-in and extrapolated models).
+func (m *Model) GoodnessOfFit() (g GoodnessOfFit, ok bool) { return m.gof, m.tested }
+
+// Accepted reports whether the fit passed the KS test at the
+// Predictor's significance level. Models without a KS verdict are
+// accepted by construction.
+func (m *Model) Accepted() bool { return !m.tested || !m.gof.RejectedAt(m.alpha) }
+
+// Mean returns E[Y], the expected sequential runtime.
+func (m *Model) Mean() float64 { return m.pred.SequentialMean() }
+
+// CDF returns P(Y ≤ x) under the fitted law.
+func (m *Model) CDF(x float64) float64 { return m.law.CDF(x) }
+
+// PDF returns the fitted law's density at x.
+func (m *Model) PDF(x float64) float64 { return m.law.PDF(x) }
+
+// Quantile returns the p-quantile of the fitted sequential runtime.
+func (m *Model) Quantile(p float64) float64 { return m.law.Quantile(p) }
+
+// Speedup returns the predicted parallel speed-up G(n) on n cores.
+func (m *Model) Speedup(n int) (float64, error) { return m.pred.Speedup(n) }
+
+// MinExpectation returns E[Z(n)], the expected multi-walk parallel
+// runtime on n cores.
+func (m *Model) MinExpectation(n int) (float64, error) { return m.pred.ParallelMean(n) }
+
+// Efficiency returns G(n)/n, the parallel efficiency at n cores.
+func (m *Model) Efficiency(n int) (float64, error) { return m.pred.Efficiency(n) }
+
+// Limit returns lim_{n→∞} G(n): E[Y]/x0 for a law with minimal
+// runtime x0 > 0, +Inf otherwise (the linear-forever case).
+func (m *Model) Limit() float64 { return m.pred.Limit() }
+
+// TangentAtOrigin returns the initial slope of the speed-up curve
+// (x0·λ + 1 for the shifted exponential).
+func (m *Model) TangentAtOrigin() float64 { return m.pred.TangentAtOrigin() }
+
+// Linear reports whether the prediction is exactly G(n) = n (the
+// unshifted exponential case of §3.3).
+func (m *Model) Linear() bool { return m.pred.Linear() }
+
+// CoresForSpeedup returns the smallest n with G(n) ≥ target — the
+// capacity-planning inverse of Speedup.
+func (m *Model) CoresForSpeedup(target float64) (int, error) {
+	return m.pred.CoresForSpeedup(target)
+}
+
+// Curve evaluates the predicted speed-up at each core count,
+// honouring ctx between quadrature evaluations (lognormal curves at
+// large n are the one genuinely slow prediction path).
+func (m *Model) Curve(ctx context.Context, cores []int) ([]SpeedupPoint, error) {
+	pts := make([]SpeedupPoint, len(cores))
+	for i, n := range cores {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		g, err := m.pred.Speedup(n)
+		if err != nil {
+			return nil, fmt.Errorf("lasvegas: curve at n=%d: %w", n, err)
+		}
+		z, err := m.pred.ParallelMean(n)
+		if err != nil {
+			return nil, err
+		}
+		pts[i] = SpeedupPoint{Cores: n, Speedup: g, MeanZ: z}
+	}
+	return pts, nil
+}
+
+// RestartPolicy is the verdict of the optimal fixed-cutoff restart
+// analysis on the fitted law.
+type RestartPolicy struct {
+	// Cutoff is the optimal restart budget (+Inf: never restart).
+	Cutoff float64
+	// ExpectedRuntime is E[T] under the optimal policy.
+	ExpectedRuntime float64
+	// Gain is E[Y]/ExpectedRuntime; ≤ 1+ε means restarts don't help
+	// and parallel multi-walk is the better lever.
+	Gain float64
+}
+
+// OptimalRestart prices the classic alternative to parallelism — cut
+// runs off and retry — from the same fitted law (Luby–Sinclair–
+// Zuckerman expected-runtime formula).
+func (m *Model) OptimalRestart() (RestartPolicy, error) {
+	opt, err := restart.OptimalCutoff(m.law)
+	if err != nil {
+		return RestartPolicy{}, err
+	}
+	return RestartPolicy{Cutoff: opt.Cutoff, ExpectedRuntime: opt.Expected, Gain: opt.Gain}, nil
+}
+
+// Candidate is one entry of the ranked model-selection table: a
+// family, its fitted model (nil when fitting failed), and its KS and
+// Anderson–Darling verdicts.
+type Candidate struct {
+	Family Family
+	// Law renders the fitted law with its parameters ("" when the
+	// family could not be fitted). It is set even when Model is nil —
+	// e.g. the Lévy law fits but has no finite mean to predict with.
+	Law string
+	// Model is the fitted model; nil when Err != nil.
+	Model *Model
+	// KS is the Kolmogorov–Smirnov verdict (zero when Err != nil).
+	KS GoodnessOfFit
+	// AD is the tail-sensitive Anderson–Darling verdict; ADValid
+	// reports whether it could be computed.
+	AD      GoodnessOfFit
+	ADValid bool
+	// Err is non-nil when the family could not be fitted.
+	Err error
+}
+
+// fitSample runs fit.Auto on a complete sample and converts to the
+// public candidate table.
+func (p *Predictor) fitSample(sample []float64) ([]Candidate, error) {
+	fams := make([]fit.Family, len(p.cfg.families))
+	for i, f := range p.cfg.families {
+		fams[i] = fit.Family(f)
+	}
+	results, err := fit.Auto(sample, fams...)
+	if err != nil {
+		return nil, fmt.Errorf("lasvegas: %w", err)
+	}
+	cands := make([]Candidate, 0, len(results))
+	for _, r := range results {
+		c := Candidate{Family: Family(r.Family), Err: r.Err}
+		if r.Err == nil {
+			c.Law = r.Dist.String()
+			// The Lévy law fits but has no finite mean, hence no
+			// speed-up model; its KS/AD verdicts below still stand.
+			if m, err := newModel(Family(r.Family), r.Dist, p.cfg.alpha); err == nil {
+				m.gof = toGoF(r.KS)
+				m.tested = true
+				c.Model = m
+			}
+			c.KS = toGoF(r.KS)
+			if ad, err := ks.AndersonDarling(sample, r.Dist); err == nil {
+				c.AD = toGoF(ad)
+				c.ADValid = true
+			}
+		}
+		cands = append(cands, c)
+	}
+	return cands, nil
+}
+
+func toGoF(r ks.Result) GoodnessOfFit {
+	return GoodnessOfFit{Stat: r.D, PValue: r.PValue, N: r.N}
+}
+
+// FitAll fits every configured candidate family to the campaign and
+// returns the candidates ranked by descending KS p-value (failed fits
+// last) — the paper's §6 model-selection table. Censored campaigns
+// are rejected with ErrCensored.
+func (p *Predictor) FitAll(c *Campaign) ([]Candidate, error) {
+	sample, err := fitInput(c)
+	if err != nil {
+		return nil, err
+	}
+	return p.fitSample(sample)
+}
+
+// Fit returns the best accepted model: the highest-KS-p-value family
+// that passes the test at the configured α. When every family is
+// rejected or fails, the error wraps ErrNoAcceptableFit.
+func (p *Predictor) Fit(c *Campaign) (*Model, error) {
+	cands, err := p.FitAll(c)
+	if err != nil {
+		return nil, err
+	}
+	for _, cand := range cands {
+		if cand.Err == nil && cand.Model != nil && !cand.KS.RejectedAt(p.cfg.alpha) {
+			return cand.Model, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (families %v, α=%v)", ErrNoAcceptableFit, p.cfg.families, p.cfg.alpha)
+}
+
+// PlugIn returns the nonparametric plug-in model: the empirical
+// distribution of the campaign itself, with no family assumption —
+// the paper's model-free baseline predictor.
+func (p *Predictor) PlugIn(c *Campaign) (*Model, error) {
+	sample, err := fitInput(c)
+	if err != nil {
+		return nil, err
+	}
+	e, err := dist.NewEmpirical(sample)
+	if err != nil {
+		return nil, fmt.Errorf("lasvegas: %w", err)
+	}
+	return newModel(Empirical, e, p.cfg.alpha)
+}
+
+// fitInput validates a campaign for estimation: non-empty and
+// uncensored.
+func fitInput(c *Campaign) ([]float64, error) {
+	if c == nil || len(c.Iterations) == 0 {
+		return nil, ErrEmptyCampaign
+	}
+	if c.IsCensored() {
+		return nil, fmt.Errorf("%w: %d of %d runs hit the %d-iteration budget",
+			ErrCensored, len(c.Censored), len(c.Iterations), c.Budget)
+	}
+	return c.Iterations, nil
+}
+
+// NegligibleShift reports whether the paper's x0 ≈ 0 simplification
+// applies to the campaign: the observed minimum is negligible against
+// the mean (the Costas 21 observation of §6.3), so the unshifted
+// exponential — and hence exactly linear speed-up — is in play.
+func NegligibleShift(c *Campaign) bool {
+	if c == nil {
+		return false
+	}
+	return fit.NegligibleShift(c.Iterations)
+}
+
+// CI is a bootstrap confidence interval for a predicted speed-up.
+type CI struct {
+	Cores   int
+	Speedup float64 // point prediction from the full campaign
+	Lo, Hi  float64 // percentile bootstrap bounds
+	Level   float64
+}
+
+// BootstrapCI quantifies the sampling noise of the campaign in the
+// prediction: percentile-bootstrap confidence bands for G(n) at each
+// core count, using the plug-in fitter (resamples and level from
+// WithBootstrap).
+func (p *Predictor) BootstrapCI(ctx context.Context, c *Campaign, cores []int) ([]CI, error) {
+	sample, err := fitInput(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cis, err := core.BootstrapCI(sample, cores, core.PlugInFitter,
+		p.cfg.resamples, p.cfg.level, p.cfg.seed^0xB007)
+	if err != nil {
+		return nil, fmt.Errorf("lasvegas: %w", err)
+	}
+	out := make([]CI, len(cis))
+	for i, ci := range cis {
+		out[i] = CI{Cores: ci.Cores, Speedup: ci.Speedup, Lo: ci.Lo, Hi: ci.Hi, Level: ci.Level}
+	}
+	return out, nil
+}

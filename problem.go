@@ -1,0 +1,101 @@
+package lasvegas
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lasvegas/internal/problems"
+)
+
+// Problem names a benchmark family the library can collect campaigns
+// for: the paper's three CSPs, N-Queens, and WalkSAT on planted
+// random 3-SAT (the paper's §8 "SAT solvers" direction).
+type Problem string
+
+// Registered problem families.
+const (
+	AllInterval Problem = "all-interval"
+	MagicSquare Problem = "magic-square"
+	Costas      Problem = "costas"
+	Queens      Problem = "queens"
+	SAT3        Problem = "sat-3"
+)
+
+// Problems returns the registered families in stable order.
+func Problems() []Problem {
+	return []Problem{AllInterval, Costas, MagicSquare, Queens, SAT3}
+}
+
+// Known reports whether p is a registered problem family.
+func (p Problem) Known() bool {
+	switch p {
+	case AllInterval, MagicSquare, Costas, Queens, SAT3:
+		return true
+	}
+	return false
+}
+
+// DefaultSize returns the scaled-down default instance size used by
+// this repository's campaigns so that a full fit→predict→compare
+// cycle runs in seconds. For SAT3 the size is the number of boolean
+// variables (clauses follow at ratio 4.2).
+func (p Problem) DefaultSize() int {
+	if p == SAT3 {
+		return 120
+	}
+	return problems.DefaultSize(problems.Kind(p))
+}
+
+// PaperSize returns the instance size of the paper's evaluation
+// (AI 700, MS 200, Costas 21) and ok=false for families the paper did
+// not benchmark.
+func (p Problem) PaperSize() (int, bool) {
+	return problems.PaperSize(problems.Kind(p))
+}
+
+// satClauseRatio is the clause/variable ratio of generated 3-SAT
+// instances; 4.2 sits just below the 4.26 satisfiability phase
+// transition, where WalkSAT runtimes are long and heavy-tailed.
+const satClauseRatio = 4.2
+
+// ParseCores parses a comma-separated list of core counts, e.g.
+// "16,32,64,128,256" — the flag format shared by every CLI.
+func ParseCores(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	cores := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("lasvegas: bad core count %q", p)
+		}
+		cores = append(cores, n)
+	}
+	return cores, nil
+}
+
+// ParseSizes parses a comma-separated list of problem=size overrides,
+// e.g. "all-interval=20,magic-square=6". An empty string yields an
+// empty (non-nil) map.
+func ParseSizes(s string) (map[Problem]int, error) {
+	sizes := map[Problem]int{}
+	if s == "" {
+		return sizes, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("lasvegas: bad size %q (want problem=N)", kv)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("lasvegas: bad size value %q", v)
+		}
+		p := Problem(strings.TrimSpace(k))
+		if !p.Known() {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownProblem, k)
+		}
+		sizes[p] = n
+	}
+	return sizes, nil
+}

@@ -1,0 +1,76 @@
+package lasvegas
+
+import (
+	"fmt"
+
+	"lasvegas/internal/extrapolate"
+)
+
+// SizeFit records the accepted fit at one training size of a scaling
+// model.
+type SizeFit struct {
+	Size int
+	Law  string
+	KS   GoodnessOfFit
+}
+
+// ScalingModel is a runtime-distribution family whose parameters have
+// been regressed against instance size — the paper's §8 proposal:
+// predict the speed-up of an instance you never ran from campaigns on
+// smaller ones.
+type ScalingModel struct {
+	m     *extrapolate.Model
+	alpha float64
+}
+
+// LearnScaling learns a scaling model from campaigns at two or more
+// distinct sizes (Campaign.Size must be set): every candidate family
+// is fitted at every size, and the family accepted everywhere with
+// the best worst-case KS p-value wins. Censored campaigns are
+// rejected with ErrCensored.
+func (p *Predictor) LearnScaling(campaigns ...*Campaign) (*ScalingModel, error) {
+	obs := make([]extrapolate.Observation, len(campaigns))
+	for i, c := range campaigns {
+		sample, err := fitInput(c)
+		if err != nil {
+			return nil, err
+		}
+		if c.Size <= 0 {
+			return nil, fmt.Errorf("lasvegas: campaign %q has no instance size", c.Problem)
+		}
+		obs[i] = extrapolate.Observation{Size: c.Size, Sample: sample}
+	}
+	m, err := extrapolate.Learn(obs, p.cfg.alpha)
+	if err != nil {
+		return nil, fmt.Errorf("lasvegas: %w", err)
+	}
+	return &ScalingModel{m: m, alpha: p.cfg.alpha}, nil
+}
+
+// Family returns the family stable across every training size.
+func (s *ScalingModel) Family() Family { return Family(s.m.Family) }
+
+// WeakestPValue returns the smallest KS p-value among the per-size
+// fits — the scaling model's weakest link.
+func (s *ScalingModel) WeakestPValue() float64 { return s.m.MinPValue() }
+
+// Fits returns the accepted per-size fits the trends were learned
+// from, in increasing size order.
+func (s *ScalingModel) Fits() []SizeFit {
+	out := make([]SizeFit, len(s.m.Fits))
+	for i, f := range s.m.Fits {
+		out[i] = SizeFit{Size: f.Size, Law: f.Dist.String(), KS: toGoF(f.KS)}
+	}
+	return out
+}
+
+// ModelAt extrapolates the law to an arbitrary instance size and
+// wraps it in a speed-up Model. The model carries no KS verdict —
+// nothing was fitted at the target size; that is the point.
+func (s *ScalingModel) ModelAt(size int) (*Model, error) {
+	d, err := s.m.DistAt(size)
+	if err != nil {
+		return nil, fmt.Errorf("lasvegas: %w", err)
+	}
+	return newModel(Family(s.m.Family), d, s.alpha)
+}
