@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-smoke
+.PHONY: all build vet test test-short bench bench-smoke bench-compare serve-smoke
 
 all: build vet test
 
@@ -23,3 +23,13 @@ bench:
 # The CI smoke pass: ablation benches only, one iteration each.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkAblation -benchtime=1x ./...
+
+# The CI regression gate: ablation ratios vs the latest committed
+# BENCH_<n>.json baseline, failing on >25% regressions.
+bench-compare:
+	sh scripts/bench.sh compare
+
+# End-to-end smoke of the lvserve daemon (build, boot, upload the
+# fixed-seed Costas fixture, fit, predict, restart, byte-compare).
+serve-smoke:
+	sh scripts/serve_smoke.sh

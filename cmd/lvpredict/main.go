@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -132,7 +133,7 @@ func loadCampaign(in, problem string, size, runs int, seed uint64) (*lasvegas.Ca
 		}
 		return c, c.Problem, nil
 	}
-	return nil, "", fmt.Errorf("specify -in <campaign.json> or -problem <family>")
+	return nil, "", errors.New("specify -in <campaign.json> or -problem <family>")
 }
 
 func fatal(err error) {

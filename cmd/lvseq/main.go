@@ -7,6 +7,16 @@
 //
 //	lvseq -problem costas -size 12 -runs 200 -out costas12.json
 //	lvseq -problem magic-square -size 6 -runs 300 -csv ms6.csv
+//
+// With -shard i/n only the i-th of n contiguous blocks of the run
+// indices is collected (streams still split from the root seed at the
+// global index), so shards collected on different machines merge —
+// via lasvegas.Campaign.Merge or lvserve's /v1/campaigns endpoint —
+// into exactly the campaign a single machine would have produced:
+//
+//	lvseq -problem costas -runs 600 -shard 0/3 -out s0.json   # machine A
+//	lvseq -problem costas -runs 600 -shard 1/3 -out s1.json   # machine B
+//	lvseq -problem costas -runs 600 -shard 2/3 -out s2.json   # machine C
 package main
 
 import (
@@ -14,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"lasvegas"
 )
@@ -28,9 +40,14 @@ func main() {
 		outJSON = flag.String("out", "", "write the campaign as JSON to this path")
 		outCSV  = flag.String("csv", "", "write per-run rows as CSV to this path")
 		maxIter = flag.Int64("maxiter", 0, "per-run iteration budget (0 = unbounded; budget-hit runs are censored)")
+		shardS  = flag.String("shard", "", "collect only shard i/n of the runs (e.g. 0/4), for multi-machine campaigns")
 	)
 	flag.Parse()
 
+	shardIdx, shardTotal, err := parseShard(*shardS)
+	if err != nil {
+		usage(err)
+	}
 	prob := lasvegas.Problem(*problem)
 	if *size == 0 {
 		*size = prob.DefaultSize()
@@ -40,8 +57,14 @@ func main() {
 		lasvegas.WithSeed(*seed),
 		lasvegas.WithWorkers(*workers),
 		lasvegas.WithBudget(*maxIter),
+		lasvegas.WithShard(shardIdx, shardTotal),
 	)
-	fmt.Printf("collecting %d sequential runs of %s-%d (seed %d)...\n", *runs, prob, *size, *seed)
+	if shardTotal > 1 {
+		fmt.Printf("collecting shard %d/%d of %d sequential runs of %s-%d (seed %d)...\n",
+			shardIdx, shardTotal, *runs, prob, *size, *seed)
+	} else {
+		fmt.Printf("collecting %d sequential runs of %s-%d (seed %d)...\n", *runs, prob, *size, *seed)
+	}
 	c, err := p.Collect(context.Background(), prob, *size)
 	if err != nil {
 		fatal(err)
@@ -76,6 +99,35 @@ func main() {
 		}
 		fmt.Printf("per-run CSV written to %s\n", *outCSV)
 	}
+}
+
+// parseShard parses "-shard i/n". An empty flag is the unsharded
+// default 0/1; i ≥ n, i < 0 or n ≤ 0 are usage errors — an
+// out-of-range shard must never silently emit an empty campaign.
+func parseShard(s string) (index, total int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	iS, nS, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n, e.g. 0/4)", s)
+	}
+	index, errI := strconv.Atoi(iS)
+	total, errN := strconv.Atoi(nS)
+	if errI != nil || errN != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n, e.g. 0/4)", s)
+	}
+	if total <= 0 || index < 0 || index >= total {
+		return 0, 0, fmt.Errorf("bad -shard %d/%d: want 0 ≤ i < n", index, total)
+	}
+	return index, total, nil
+}
+
+// usage reports a flag-level error and exits with the usage text.
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "lvseq:", err)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

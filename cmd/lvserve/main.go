@@ -1,0 +1,131 @@
+// Command lvserve is the HTTP prediction daemon: the paper's
+// collect → fit → predict pipeline served over the wire. Upload (or
+// server-side collect) runtime campaigns, fit them once, and answer
+// speed-up queries against the cached model.
+//
+// Usage:
+//
+//	lvserve -addr :8080
+//	lvserve -addr :8080 -families exponential,shifted-exponential,lognormal -alpha 0.05
+//
+// Quickstart (collect two shards on different machines, merge and
+// predict through the daemon):
+//
+//	lvseq -problem costas -size 13 -runs 200 -shard 0/2 -out shard0.json
+//	lvseq -problem costas -size 13 -runs 200 -shard 1/2 -out shard1.json
+//	jq -s . shard0.json shard1.json | curl -sd @- localhost:8080/v1/campaigns
+//	curl -sd '{"id":"<id>"}' localhost:8080/v1/fit
+//	curl -s 'localhost:8080/v1/predict?id=<id>&cores=16,64,256&target=8'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lasvegas"
+	"lasvegas/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		familiesS = flag.String("families", "", "comma-separated candidate families (default: the paper's accepted trio)")
+		alpha     = flag.Float64("alpha", 0.05, "KS significance level")
+		workers   = flag.Int("workers", 0, "max concurrent fit/collect jobs (0 = GOMAXPROCS)")
+		maxBody   = flag.Int64("max-body", 8<<20, "request body cap in bytes")
+		maxStore  = flag.Int("max-campaigns", 1024, "campaigns cached before FIFO eviction")
+		maxRuns   = flag.Int("max-collect-runs", 10000, "per-request cap on server-side collection runs")
+	)
+	flag.Parse()
+
+	families, err := parseFamilies(*familiesS)
+	if err != nil {
+		fatal(err)
+	}
+	srv := serve.New(serve.Config{
+		Families:       families,
+		Alpha:          *alpha,
+		Workers:        *workers,
+		MaxBodyBytes:   *maxBody,
+		MaxCampaigns:   *maxStore,
+		MaxCollectRuns: *maxRuns,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(srv.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("lvserve: listening on %s", *addr)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("lvserve: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+}
+
+// parseFamilies parses the -families flag against the families the
+// fitter knows (plus "empirical", which Fit does not accept).
+func parseFamilies(s string) ([]lasvegas.Family, error) {
+	if s == "" {
+		return nil, nil
+	}
+	known := map[lasvegas.Family]bool{}
+	for _, f := range lasvegas.AllFamilies() {
+		known[f] = true
+	}
+	var out []lasvegas.Family
+	for _, part := range strings.Split(s, ",") {
+		f := lasvegas.Family(strings.TrimSpace(part))
+		if !known[f] {
+			return nil, fmt.Errorf("lvserve: unknown family %q (known: %v)", f, lasvegas.AllFamilies())
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// logRequests is the daemon's single middleware: one line per request.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		log.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lvserve:", err)
+	os.Exit(1)
+}

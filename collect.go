@@ -32,6 +32,9 @@ func (p *Predictor) Collect(ctx context.Context, prob Problem, size int) (*Campa
 	if !prob.Known() {
 		return nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownProblem, prob, Problems())
 	}
+	if t, i := p.cfg.shardTotal, p.cfg.shardIndex; t <= 0 || i < 0 || i >= t {
+		return nil, fmt.Errorf("lasvegas: shard %d/%d out of range (want 0 ≤ index < total)", i, t)
+	}
 	if size <= 0 {
 		size = prob.DefaultSize()
 	}
@@ -41,17 +44,29 @@ func (p *Predictor) Collect(ctx context.Context, prob Problem, size int) (*Campa
 	return p.collectCSP(ctx, prob, size)
 }
 
-// collectCSP runs Adaptive Search campaigns. The uncensored path
-// delegates to the internal collector so the random streams — and
+// sharded reports whether Collect is restricted to a WithShard block.
+func (p *Predictor) sharded() bool { return p.cfg.shardTotal > 1 }
+
+// shardBounds returns the half-open global run-index range
+// [lo, hi) of the configured shard.
+func (p *Predictor) shardBounds() (lo, hi int) {
+	runs, i, t := p.cfg.runs, p.cfg.shardIndex, p.cfg.shardTotal
+	return runs * i / t, runs * (i + 1) / t
+}
+
+// collectCSP runs Adaptive Search campaigns. The uncensored unsharded
+// path delegates to the internal collector so the random streams — and
 // therefore every published fixed-seed result — stay bit-identical to
-// earlier releases.
+// earlier releases; sharded collection routes through collectRuns,
+// whose streams split from the root seed at the same global indices,
+// so merged shards still reproduce those results.
 func (p *Predictor) collectCSP(ctx context.Context, prob Problem, size int) (*Campaign, error) {
 	kind := problems.Kind(prob)
 	factory := func() (csp.Problem, error) { return problems.New(kind, size) }
 	if _, err := factory(); err != nil {
 		return nil, fmt.Errorf("lasvegas: %w", err)
 	}
-	if p.cfg.budget <= 0 {
+	if p.cfg.budget <= 0 && !p.sharded() {
 		c, err := runtimes.Collect(ctx, factory, adaptive.Params{}, p.cfg.runs, p.cfg.seed, p.cfg.workers)
 		if err != nil {
 			return nil, fmt.Errorf("lasvegas: collect %s-%d: %w", prob, size, err)
@@ -85,8 +100,13 @@ func (p *Predictor) collectCSP(ctx context.Context, prob Problem, size int) (*Ca
 			return runOutcome{iterations: float64(res.Stats.Iterations)}, nil
 		case errors.Is(res.Err, adaptive.ErrInterrupted):
 			return runOutcome{}, context.Cause(ctx)
-		default: // budget exhausted
+		case budget > 0: // budget exhausted
 			return runOutcome{iterations: float64(res.Stats.Iterations), censored: true}, nil
+		default:
+			if res.Err != nil {
+				return runOutcome{}, res.Err
+			}
+			return runOutcome{}, errors.New("adaptive run stopped without a solution")
 		}
 	})
 	if err != nil {
@@ -142,14 +162,22 @@ type runOutcome struct {
 
 // collectRuns is the generic campaign engine: runs independent
 // repetitions on a bounded worker pool, with per-run streams split
-// from the root seed (the same derivation as the internal collector,
-// so scheduling never changes results). It fails fast on the first
+// from the root seed at the run's global index (the same derivation
+// as the internal collector, so neither scheduling nor sharding ever
+// changes results). With a WithShard restriction only the shard's
+// block of the full campaign is executed. It fails fast on the first
 // run error or context cancellation.
 func (p *Predictor) collectRuns(ctx context.Context, name string, size int,
 	runOne func(context.Context, *xrand.Rand) (runOutcome, error)) (*Campaign, error) {
-	runs := p.cfg.runs
+	total := p.cfg.runs
+	if total < 1 {
+		return nil, fmt.Errorf("%d runs", total)
+	}
+	lo, hi := p.shardBounds()
+	runs := hi - lo
 	if runs < 1 {
-		return nil, fmt.Errorf("%d runs", runs)
+		return nil, fmt.Errorf("shard %d/%d of %d runs is empty",
+			p.cfg.shardIndex, p.cfg.shardTotal, total)
 	}
 	workers := p.cfg.workers
 	if workers <= 0 {
@@ -167,10 +195,16 @@ func (p *Predictor) collectRuns(ctx context.Context, name string, size int,
 		Iterations: make([]float64, runs),
 		Seconds:    make([]float64, runs),
 	}
+	if p.sharded() {
+		c.Metadata = map[string]string{
+			"lasvegas.shard":      fmt.Sprintf("%d/%d", p.cfg.shardIndex, p.cfg.shardTotal),
+			"lasvegas.shard.runs": fmt.Sprintf("%d", total),
+		}
+	}
 	root := xrand.New(p.cfg.seed)
 	streams := make([]*xrand.Rand, runs)
 	for i := range streams {
-		streams[i] = root.Split(uint64(i))
+		streams[i] = root.Split(uint64(lo + i))
 	}
 	censored := make([]bool, runs)
 

@@ -51,6 +51,32 @@
 // errors (ErrNoAcceptableFit, ErrCensored, ErrSchema, ...) make the
 // failure modes programmable.
 //
+// # Serving
+//
+// cmd/lvserve (package internal/serve) puts the same pipeline behind
+// an HTTP daemon: campaigns upload to a content-addressed in-memory
+// store, fit once per campaign (single-flight, on a bounded worker
+// pool) and answer speed-up queries from the cached model, with the
+// typed errors mapped onto status codes (400 ErrSchema and
+// ErrEmptyCampaign, 404 ErrUnknownProblem and unknown ids, 409
+// ErrCensored and ErrMergeMismatch, 422 ErrNoAcceptableFit).
+// Campaigns may also be collected on several machines — `lvseq -shard
+// i/n` splits the run indices into contiguous blocks whose random
+// streams still derive from the root seed at the global index — and
+// pooled back with Campaign.Merge (or by POSTing the shard array),
+// reproducing the single-machine campaign exactly:
+//
+//	lvseq -problem costas -size 13 -runs 200 -shard 0/2 -out s0.json
+//	lvseq -problem costas -size 13 -runs 200 -shard 1/2 -out s1.json
+//	lvserve -addr :8080 &
+//	jq -s . s0.json s1.json | curl -sd @- localhost:8080/v1/campaigns
+//	curl -sd '{"id":"<id>"}' localhost:8080/v1/fit
+//	curl -s 'localhost:8080/v1/predict?id=<id>&cores=16,64,256&quantile=0.9&target=8'
+//
+// Fixed-seed campaigns produce byte-identical fit and predict
+// responses across daemon restarts; CI's serve-smoke job replays this
+// exact workflow (scripts/serve_smoke.sh) on every push.
+//
 // # Layout
 //
 // All implementation lives under internal/ behind this package:

@@ -26,4 +26,10 @@ var (
 	// ErrSchema reports a campaign file with an unsupported schema
 	// version (written by a newer release).
 	ErrSchema = errors.New("lasvegas: unsupported campaign schema")
+
+	// ErrMergeMismatch is returned by Campaign.Merge when shards
+	// disagree on problem, size or budget: runtime samples of
+	// different instances (or cut off at different budgets) are not
+	// draws of one distribution and must not be pooled.
+	ErrMergeMismatch = errors.New("lasvegas: campaign shards do not match")
 )

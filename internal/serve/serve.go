@@ -1,0 +1,461 @@
+// Package serve is the HTTP prediction daemon behind cmd/lvserve: the
+// paper's collect → fit → predict pipeline (Truchet, Richoux,
+// Codognet — ICPP 2013) exposed over the wire through the public
+// lasvegas API.
+//
+// Endpoints:
+//
+//	POST /v1/campaigns   upload one schema-v2 campaign, an array of
+//	                     campaign shards to merge, or a
+//	                     {"collect": {...}} request the server runs
+//	                     itself; returns the content-derived campaign id
+//	POST /v1/fit         {"id": ...} → ranked candidate table with KS
+//	                     (and Anderson–Darling) verdicts plus the best
+//	                     accepted model
+//	GET  /v1/predict     ?id=...&cores=16,32&quantile=0.5,0.9&target=8 →
+//	                     speed-up / min-expectation / quantile /
+//	                     cores-for-speedup queries against the cached
+//	                     model (fitting it on first use)
+//	GET  /v1/healthz     liveness plus store occupancy
+//
+// The public package's typed errors map onto status codes —
+// ErrSchema and ErrEmptyCampaign 400, ErrUnknownProblem (and unknown
+// campaign ids) 404, ErrCensored and ErrMergeMismatch 409,
+// ErrNoAcceptableFit 422 — so clients can program against failure
+// modes without parsing messages. Campaign ids are content hashes of
+// the canonical campaign JSON and every response is rendered
+// deterministically, so a fixed-seed campaign produces byte-identical
+// fit and predict responses across daemon restarts.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"lasvegas"
+)
+
+// Config configures a Server. The zero value serves the paper's
+// defaults: DefaultFamilies at α = 0.05, GOMAXPROCS-bounded fitting
+// and collection, 8 MiB request bodies, 1024 cached campaigns.
+type Config struct {
+	// Families are the candidate distribution families /v1/fit ranks
+	// (default lasvegas.DefaultFamilies).
+	Families []lasvegas.Family
+	// Alpha is the KS significance level (default 0.05).
+	Alpha float64
+	// Workers bounds concurrent fit and collect jobs
+	// (default 0 = GOMAXPROCS via the lasvegas defaults).
+	Workers int
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxCampaigns caps the in-memory store; the oldest campaign is
+	// evicted first (default 1024).
+	MaxCampaigns int
+	// MaxCollectRuns caps the runs of one server-side collect request
+	// (default 10000), keeping a single request from monopolizing the
+	// daemon.
+	MaxCollectRuns int
+}
+
+// Server is the prediction daemon: an in-memory campaign/model store
+// plus the HTTP handlers over it. Safe for concurrent use.
+type Server struct {
+	cfg   Config
+	store *store
+}
+
+// New returns a Server with cfg applied over the defaults.
+func New(cfg Config) *Server {
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 0.05
+	}
+	if len(cfg.Families) == 0 {
+		cfg.Families = lasvegas.DefaultFamilies()
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.MaxCampaigns <= 0 {
+		cfg.MaxCampaigns = 1024
+	}
+	if cfg.MaxCollectRuns <= 0 {
+		cfg.MaxCollectRuns = 10000
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	pred := lasvegas.New(
+		lasvegas.WithFamilies(cfg.Families...),
+		lasvegas.WithAlpha(cfg.Alpha),
+	)
+	return &Server{cfg: cfg, store: newStore(pred, workers, cfg.MaxCampaigns)}
+}
+
+// Handler returns the daemon's http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleCampaigns)
+	mux.HandleFunc("POST /v1/fit", s.handleFit)
+	mux.HandleFunc("GET /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+// --- wire types ---------------------------------------------------
+
+// collectRequest is the server-side collection form of
+// POST /v1/campaigns.
+type collectRequest struct {
+	Problem string `json:"problem"`
+	Size    int    `json:"size,omitempty"`
+	Runs    int    `json:"runs,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	Budget  int64  `json:"budget,omitempty"`
+}
+
+// campaignResponse acknowledges a stored campaign.
+type campaignResponse struct {
+	ID       string `json:"id"`
+	Problem  string `json:"problem"`
+	Size     int    `json:"size,omitempty"`
+	Runs     int    `json:"runs"`
+	Censored int    `json:"censored,omitempty"`
+	Budget   int64  `json:"budget,omitempty"`
+	Merged   int    `json:"merged_shards,omitempty"`
+}
+
+// candidateResponse is one row of the ranked §6 model-selection table.
+type candidateResponse struct {
+	Family   lasvegas.Family `json:"family"`
+	Law      string          `json:"law,omitempty"`
+	Accepted bool            `json:"accepted"`
+	KS       *gofResponse    `json:"ks,omitempty"`
+	AD       *gofResponse    `json:"ad,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// gofResponse is a goodness-of-fit verdict on the wire.
+type gofResponse struct {
+	Stat   float64 `json:"stat"`
+	PValue float64 `json:"p_value"`
+	N      int     `json:"n"`
+}
+
+// fitResponse answers POST /v1/fit.
+type fitResponse struct {
+	ID         string              `json:"id"`
+	Problem    string              `json:"problem"`
+	Best       *lasvegas.Model     `json:"best"`
+	Candidates []candidateResponse `json:"candidates"`
+}
+
+// speedupResponse is one predicted core count.
+type speedupResponse struct {
+	Cores          int     `json:"cores"`
+	Speedup        float64 `json:"speedup"`
+	MinExpectation float64 `json:"min_expectation"`
+	Efficiency     float64 `json:"efficiency"`
+}
+
+// quantileResponse is one predicted sequential-runtime quantile.
+type quantileResponse struct {
+	P     float64 `json:"p"`
+	Value float64 `json:"value"`
+}
+
+// coresResponse answers a cores-for-speedup query.
+type coresResponse struct {
+	Target float64 `json:"target"`
+	Cores  int     `json:"cores"`
+}
+
+// predictResponse answers GET /v1/predict.
+type predictResponse struct {
+	ID              string             `json:"id"`
+	Problem         string             `json:"problem"`
+	Model           *lasvegas.Model    `json:"model"`
+	Speedups        []speedupResponse  `json:"speedups,omitempty"`
+	Quantiles       []quantileResponse `json:"quantiles,omitempty"`
+	CoresForSpeedup *coresResponse     `json:"cores_for_speedup,omitempty"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// healthResponse answers GET /v1/healthz.
+type healthResponse struct {
+	Status    string `json:"status"`
+	Campaigns int    `json:"campaigns"`
+}
+
+// --- handlers -----------------------------------------------------
+
+// handleCampaigns stores a campaign: an uploaded schema-v2 campaign
+// object, an array of shards merged server-side, or a
+// {"collect": ...} request executed by the daemon.
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, fmt.Errorf("serve: reading body: %w", err))
+		return
+	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	// A shard array merges, a {"collect": ...} object collects
+	// server-side, anything else is a campaign upload (campaigns
+	// always carry "iterations"; a probe decode keeps a metadata key
+	// named "collect" from misrouting an upload).
+	var probe struct {
+		Collect    json.RawMessage `json:"collect"`
+		Iterations json.RawMessage `json:"iterations"`
+	}
+	var (
+		c      *lasvegas.Campaign
+		merged int
+	)
+	switch {
+	case len(trimmed) > 0 && trimmed[0] == '[':
+		c, merged, err = mergeShards(trimmed)
+	case json.Unmarshal(trimmed, &probe) == nil && probe.Collect != nil && probe.Iterations == nil:
+		c, err = s.collect(r.Context(), trimmed)
+	default:
+		c = &lasvegas.Campaign{}
+		if err = json.Unmarshal(trimmed, c); err != nil {
+			err = fmt.Errorf("serve: campaign upload: %w", err)
+		}
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	e, err := s.store.add(c)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, campaignResponse{
+		ID:       e.id,
+		Problem:  c.Problem,
+		Size:     c.Size,
+		Runs:     len(c.Iterations),
+		Censored: len(c.Censored),
+		Budget:   c.Budget,
+		Merged:   merged,
+	})
+}
+
+// mergeShards decodes an array of campaign shards and pools them.
+func mergeShards(body []byte) (*lasvegas.Campaign, int, error) {
+	var shards []*lasvegas.Campaign
+	if err := json.Unmarshal(body, &shards); err != nil {
+		return nil, 0, fmt.Errorf("serve: shard array: %w", err)
+	}
+	c, err := lasvegas.MergeCampaigns(shards...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, len(shards), nil
+}
+
+// collect runs a campaign on the daemon itself, inside the shared
+// worker pool so collection and fitting contend for the same bounded
+// CPU budget.
+func (s *Server) collect(ctx context.Context, body []byte) (*lasvegas.Campaign, error) {
+	var req struct {
+		Collect *collectRequest `json:"collect"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.Collect == nil {
+		return nil, errors.New("serve: collect request: invalid body")
+	}
+	cr := req.Collect
+	if cr.Runs <= 0 {
+		cr.Runs = 200
+	}
+	if cr.Runs > s.cfg.MaxCollectRuns {
+		return nil, fmt.Errorf("serve: collect request: %d runs exceeds the %d-run cap", cr.Runs, s.cfg.MaxCollectRuns)
+	}
+	if cr.Seed == 0 {
+		cr.Seed = 1
+	}
+	if err := s.store.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.store.release()
+	p := lasvegas.New(
+		lasvegas.WithRuns(cr.Runs),
+		lasvegas.WithSeed(cr.Seed),
+		lasvegas.WithBudget(cr.Budget),
+		lasvegas.WithWorkers(s.cfg.Workers),
+	)
+	return p.Collect(ctx, lasvegas.Problem(cr.Problem), cr.Size)
+}
+
+// handleFit fits the stored campaign (single-flight) and returns the
+// ranked candidate table plus the best accepted model.
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID string `json:"id"`
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err == nil {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil || req.ID == "" {
+		s.writeError(w, errors.New(`serve: fit request: want {"id": "<campaign id>"}`))
+		return
+	}
+	e, err := s.store.get(req.ID)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	cands, best, err := s.store.fit(r.Context(), e)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := fitResponse{ID: e.id, Problem: e.campaign.Problem, Best: best}
+	for _, c := range cands {
+		cr := candidateResponse{Family: c.Family, Law: c.Law}
+		if c.Err != nil {
+			cr.Error = c.Err.Error()
+		} else {
+			cr.Accepted = !c.KS.RejectedAt(s.cfg.Alpha)
+			cr.KS = &gofResponse{Stat: c.KS.Stat, PValue: c.KS.PValue, N: c.KS.N}
+			if c.ADValid {
+				cr.AD = &gofResponse{Stat: c.AD.Stat, PValue: c.AD.PValue, N: c.AD.N}
+			}
+		}
+		resp.Candidates = append(resp.Candidates, cr)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePredict answers speed-up, min-expectation, quantile and
+// cores-for-speedup queries against the cached model, fitting it on
+// first use.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id := q.Get("id")
+	if id == "" {
+		s.writeError(w, errors.New("serve: predict: missing id parameter"))
+		return
+	}
+	e, err := s.store.get(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	_, model, err := s.store.fit(r.Context(), e)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := predictResponse{ID: e.id, Problem: e.campaign.Problem, Model: model}
+	if coresS := q.Get("cores"); coresS != "" {
+		cores, err := lasvegas.ParseCores(coresS)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		for _, n := range cores {
+			g, err := model.Speedup(n)
+			if err != nil {
+				s.writeError(w, err)
+				return
+			}
+			z, err := model.MinExpectation(n)
+			if err != nil {
+				s.writeError(w, err)
+				return
+			}
+			resp.Speedups = append(resp.Speedups, speedupResponse{
+				Cores: n, Speedup: g, MinExpectation: z, Efficiency: g / float64(n),
+			})
+		}
+	}
+	if qsS := q.Get("quantile"); qsS != "" {
+		for _, part := range strings.Split(qsS, ",") {
+			p, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			// p = 1 is excluded: every parametric family here has
+			// unbounded upper support, so Quantile(1) is +Inf, which
+			// JSON cannot carry.
+			if err != nil || math.IsNaN(p) || p < 0 || p >= 1 {
+				s.writeError(w, fmt.Errorf("serve: predict: bad quantile %q (want p in [0,1))", part))
+				return
+			}
+			resp.Quantiles = append(resp.Quantiles, quantileResponse{P: p, Value: model.Quantile(p)})
+		}
+	}
+	if targetS := q.Get("target"); targetS != "" {
+		target, err := strconv.ParseFloat(targetS, 64)
+		if err != nil {
+			s.writeError(w, fmt.Errorf("serve: predict: bad target %q", targetS))
+			return
+		}
+		n, err := model.CoresForSpeedup(target)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		resp.CoresForSpeedup = &coresResponse{Target: target, Cores: n}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz reports liveness and store occupancy.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Campaigns: s.store.len()})
+}
+
+// --- plumbing -----------------------------------------------------
+
+// statusFor maps the public package's typed errors (and the store's
+// unknown-id error) onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, lasvegas.ErrUnknownProblem), errors.Is(err, errUnknownCampaign):
+		return http.StatusNotFound // 404
+	case errors.Is(err, lasvegas.ErrCensored), errors.Is(err, lasvegas.ErrMergeMismatch):
+		return http.StatusConflict // 409
+	case errors.Is(err, lasvegas.ErrNoAcceptableFit):
+		return http.StatusUnprocessableEntity // 422
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 499 // client closed request (nginx convention)
+	default:
+		// ErrSchema, ErrEmptyCampaign, JSON decoding and parameter
+		// validation are all malformed-request failures.
+		return http.StatusBadRequest // 400
+	}
+}
+
+// writeError renders the uniform JSON error body.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	s.writeJSON(w, status, errorResponse{Error: err.Error(), Status: status})
+}
+
+// writeJSON renders v indented and deterministic (struct fields only,
+// no maps), so fixed campaigns yield byte-stable responses.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"serve: encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(buf, '\n'))
+}

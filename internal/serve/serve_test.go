@@ -1,0 +1,433 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lasvegas"
+)
+
+// fixturePath points at the repository's committed fixed-seed
+// Costas-13 campaign (the CI smoke fixture).
+var fixturePath = filepath.Join("..", "..", "testdata", "campaign_costas13.json")
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, data
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, data
+}
+
+func fixtureJSON(t *testing.T) []byte {
+	t.Helper()
+	data, err := os.ReadFile(fixturePath)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	return data
+}
+
+// uploadFixture uploads the Costas fixture and returns its campaign id.
+func uploadFixture(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	status, body := post(t, ts, "/v1/campaigns", fixtureJSON(t))
+	if status != http.StatusOK {
+		t.Fatalf("upload: status %d, body %s", status, body)
+	}
+	var resp campaignResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("upload response: %v", err)
+	}
+	if resp.ID == "" || resp.Problem != "costas-13" || resp.Runs != 200 {
+		t.Fatalf("upload response: %+v", resp)
+	}
+	return resp.ID
+}
+
+// TestUploadFitPredict is the end-to-end happy path the CI smoke job
+// replays over a real socket: upload → fit → predict, with sanity
+// checks on the numbers.
+func TestUploadFitPredict(t *testing.T) {
+	ts := newTestServer(t)
+	id := uploadFixture(t, ts)
+
+	status, body := post(t, ts, "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, id)))
+	if status != http.StatusOK {
+		t.Fatalf("fit: status %d, body %s", status, body)
+	}
+	var fr struct {
+		ID         string              `json:"id"`
+		Best       json.RawMessage     `json:"best"`
+		Candidates []candidateResponse `json:"candidates"`
+	}
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatalf("fit response: %v", err)
+	}
+	if fr.ID != id {
+		t.Errorf("fit id = %q, want %q", fr.ID, id)
+	}
+	if len(fr.Candidates) != len(lasvegas.DefaultFamilies()) {
+		t.Errorf("fit returned %d candidates, want %d", len(fr.Candidates), len(lasvegas.DefaultFamilies()))
+	}
+	var best struct {
+		Family string  `json:"family"`
+		Mean   float64 `json:"mean"`
+	}
+	if err := json.Unmarshal(fr.Best, &best); err != nil {
+		t.Fatalf("best model: %v", err)
+	}
+	if best.Family == "" || best.Mean <= 0 {
+		t.Errorf("best model = %+v, want a fitted family with positive mean", best)
+	}
+	// The table is ranked by KS p-value: the winner leads and must be
+	// accepted.
+	if !fr.Candidates[0].Accepted {
+		t.Errorf("top-ranked candidate %+v not accepted", fr.Candidates[0])
+	}
+
+	status, body = get(t, ts, "/v1/predict?id="+id+"&cores=16,64,256&quantile=0.5,0.9&target=8")
+	if status != http.StatusOK {
+		t.Fatalf("predict: status %d, body %s", status, body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("predict response: %v", err)
+	}
+	if len(pr.Speedups) != 3 {
+		t.Fatalf("predict returned %d speed-up rows, want 3", len(pr.Speedups))
+	}
+	prev := 1.0
+	for _, sp := range pr.Speedups {
+		if sp.Speedup <= prev {
+			t.Errorf("G(%d) = %v not increasing past %v", sp.Cores, sp.Speedup, prev)
+		}
+		if sp.Speedup > float64(sp.Cores)*1.001 {
+			t.Errorf("G(%d) = %v exceeds the core count", sp.Cores, sp.Speedup)
+		}
+		if sp.MinExpectation <= 0 {
+			t.Errorf("E[Z(%d)] = %v, want > 0", sp.Cores, sp.MinExpectation)
+		}
+		prev = sp.Speedup
+	}
+	if len(pr.Quantiles) != 2 || pr.Quantiles[0].Value >= pr.Quantiles[1].Value {
+		t.Errorf("quantiles %+v not increasing", pr.Quantiles)
+	}
+	if pr.CoresForSpeedup == nil || pr.CoresForSpeedup.Cores < 8 {
+		t.Errorf("cores_for_speedup %+v, want ≥ 8 cores for a 8x target", pr.CoresForSpeedup)
+	}
+}
+
+// TestByteStableAcrossRestarts uploads the same fixture to two fresh
+// daemons and requires byte-identical fit and predict responses — the
+// acceptance criterion that makes cached service answers trustworthy.
+func TestByteStableAcrossRestarts(t *testing.T) {
+	var fits, predicts [2][]byte
+	var ids [2]string
+	for i := 0; i < 2; i++ {
+		ts := newTestServer(t)
+		ids[i] = uploadFixture(t, ts)
+		status, body := post(t, ts, "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, ids[i])))
+		if status != http.StatusOK {
+			t.Fatalf("fit: status %d", status)
+		}
+		fits[i] = body
+		status, body = get(t, ts, "/v1/predict?id="+ids[i]+"&cores=16,32,64,128,256&quantile=0.5&target=10")
+		if status != http.StatusOK {
+			t.Fatalf("predict: status %d", status)
+		}
+		predicts[i] = body
+		ts.Close()
+	}
+	if ids[0] != ids[1] {
+		t.Errorf("campaign ids differ across restarts: %q vs %q", ids[0], ids[1])
+	}
+	if !bytes.Equal(fits[0], fits[1]) {
+		t.Errorf("fit responses differ across restarts:\n%s\nvs\n%s", fits[0], fits[1])
+	}
+	if !bytes.Equal(predicts[0], predicts[1]) {
+		t.Errorf("predict responses differ across restarts:\n%s\nvs\n%s", predicts[0], predicts[1])
+	}
+}
+
+// TestMergeEndpoint uploads a two-shard split of the fixture as a
+// JSON array and checks the pooled campaign matches the unsharded
+// upload's content id.
+func TestMergeEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	c, err := lasvegas.LoadCampaign(fixturePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(c.Iterations) / 2
+	shard := func(i int, lo, hi int) *lasvegas.Campaign {
+		return &lasvegas.Campaign{
+			Problem:    c.Problem,
+			Size:       c.Size,
+			Runs:       hi - lo,
+			Seed:       c.Seed,
+			Iterations: c.Iterations[lo:hi],
+			Seconds:    c.Seconds[lo:hi],
+			// The annotations lvseq -shard writes: a complete in-order
+			// cover is what lets the merged campaign keep its Seed and
+			// hash to the unsharded campaign's id.
+			Metadata: map[string]string{
+				"lasvegas.shard":      fmt.Sprintf("%d/2", i),
+				"lasvegas.shard.runs": fmt.Sprintf("%d", len(c.Iterations)),
+			},
+		}
+	}
+	shards, err := json.Marshal([]*lasvegas.Campaign{
+		shard(0, 0, half), shard(1, half, len(c.Iterations)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body := post(t, ts, "/v1/campaigns", shards)
+	if status != http.StatusOK {
+		t.Fatalf("merge upload: status %d, body %s", status, body)
+	}
+	var mergedResp campaignResponse
+	if err := json.Unmarshal(body, &mergedResp); err != nil {
+		t.Fatal(err)
+	}
+	if mergedResp.Merged != 2 || mergedResp.Runs != len(c.Iterations) {
+		t.Fatalf("merge response %+v, want 2 shards and %d runs", mergedResp, len(c.Iterations))
+	}
+
+	id := uploadFixture(t, ts)
+	if mergedResp.ID != id {
+		t.Errorf("merged shards id %q != whole-campaign id %q (merge must reconstruct the campaign exactly)", mergedResp.ID, id)
+	}
+}
+
+// TestCollectEndpoint asks the daemon to collect a small fixed-seed
+// campaign itself.
+func TestCollectEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := post(t, ts, "/v1/campaigns",
+		[]byte(`{"collect": {"problem": "costas", "size": 8, "runs": 20, "seed": 3}}`))
+	if status != http.StatusOK {
+		t.Fatalf("collect: status %d, body %s", status, body)
+	}
+	var resp campaignResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Problem != "costas-8" || resp.Runs != 20 {
+		t.Errorf("collect response %+v, want costas-8 with 20 runs", resp)
+	}
+}
+
+// TestErrorMapping locks the typed-error → status-code contract.
+func TestErrorMapping(t *testing.T) {
+	ts := newTestServer(t)
+
+	uniform := &lasvegas.Campaign{Problem: "synthetic", Runs: 200}
+	for i := 1; i <= 200; i++ {
+		uniform.Iterations = append(uniform.Iterations, float64(i))
+	}
+	uniformJSON, err := json.Marshal(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploadID := func(body []byte) string {
+		status, resp := post(t, ts, "/v1/campaigns", body)
+		if status != http.StatusOK {
+			t.Fatalf("upload: status %d, body %s", status, resp)
+		}
+		var cr campaignResponse
+		if err := json.Unmarshal(resp, &cr); err != nil {
+			t.Fatal(err)
+		}
+		return cr.ID
+	}
+	censored, err := os.ReadFile(filepath.Join("..", "..", "testdata", "campaign_v2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	censoredID := uploadID(censored)
+	uniformID := uploadID(uniformJSON)
+
+	mismatched, err := json.Marshal([]*lasvegas.Campaign{
+		{Problem: "costas-13", Runs: 1, Iterations: []float64{1}},
+		{Problem: "costas-14", Runs: 1, Iterations: []float64{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		do     func() (int, []byte)
+		status int
+	}{
+		{"malformed JSON 400", func() (int, []byte) {
+			return post(t, ts, "/v1/campaigns", []byte(`{nope`))
+		}, http.StatusBadRequest},
+		{"empty campaign 400", func() (int, []byte) {
+			return post(t, ts, "/v1/campaigns", []byte(`{"problem":"x","iterations":[]}`))
+		}, http.StatusBadRequest},
+		{"future schema 400", func() (int, []byte) {
+			return post(t, ts, "/v1/campaigns", []byte(`{"schema":99,"problem":"x","iterations":[1]}`))
+		}, http.StatusBadRequest},
+		{"unknown collect problem 404", func() (int, []byte) {
+			return post(t, ts, "/v1/campaigns", []byte(`{"collect":{"problem":"sudoku"}}`))
+		}, http.StatusNotFound},
+		{"merge mismatch 409", func() (int, []byte) {
+			return post(t, ts, "/v1/campaigns", mismatched)
+		}, http.StatusConflict},
+		{"fit unknown id 404", func() (int, []byte) {
+			return post(t, ts, "/v1/fit", []byte(`{"id":"c0000000000000000"}`))
+		}, http.StatusNotFound},
+		{"fit censored 409", func() (int, []byte) {
+			return post(t, ts, "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, censoredID)))
+		}, http.StatusConflict},
+		{"fit rejected families 422", func() (int, []byte) {
+			return post(t, ts, "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, uniformID)))
+		}, http.StatusUnprocessableEntity},
+		{"predict unknown id 404", func() (int, []byte) {
+			return get(t, ts, "/v1/predict?id=nope&cores=16")
+		}, http.StatusNotFound},
+		{"predict missing id 400", func() (int, []byte) {
+			return get(t, ts, "/v1/predict?cores=16")
+		}, http.StatusBadRequest},
+		{"predict bad cores 400", func() (int, []byte) {
+			id := uploadFixture(t, ts)
+			return get(t, ts, "/v1/predict?id="+id+"&cores=zero")
+		}, http.StatusBadRequest},
+		{"predict bad quantile 400", func() (int, []byte) {
+			id := uploadFixture(t, ts)
+			return get(t, ts, "/v1/predict?id="+id+"&quantile=1.5")
+		}, http.StatusBadRequest},
+		{"predict quantile 1 400", func() (int, []byte) {
+			// p = 1 is the infinite upper support edge of every
+			// parametric family — rejected rather than a 500 from an
+			// unencodable +Inf.
+			id := uploadFixture(t, ts)
+			return get(t, ts, "/v1/predict?id="+id+"&quantile=1")
+		}, http.StatusBadRequest},
+		{"predict quantile NaN 400", func() (int, []byte) {
+			id := uploadFixture(t, ts)
+			return get(t, ts, "/v1/predict?id="+id+"&quantile=NaN")
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := tc.do()
+			if status != tc.status {
+				t.Fatalf("status %d, want %d (body %s)", status, tc.status, body)
+			}
+			var er errorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("error body not JSON: %s", body)
+			}
+			if er.Status != tc.status || er.Error == "" {
+				t.Errorf("error body %+v, want status %d and a message", er, tc.status)
+			}
+		})
+	}
+}
+
+// TestHealthz checks liveness and store occupancy reporting.
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts, "/v1/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz: status %d", status)
+	}
+	var hr healthResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.Campaigns != 0 {
+		t.Errorf("healthz %+v, want ok with empty store", hr)
+	}
+	uploadFixture(t, ts)
+	_, body = get(t, ts, "/v1/healthz")
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Campaigns != 1 {
+		t.Errorf("healthz campaigns = %d after upload, want 1", hr.Campaigns)
+	}
+}
+
+// TestMethodNotAllowed: the v1 mux registers method-qualified
+// patterns, so a GET on /v1/fit is rejected by the router.
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t)
+	status, _ := get(t, ts, "/v1/fit")
+	if status != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/fit: status %d, want 405", status)
+	}
+}
+
+// TestUploadDedup re-uploads the fixture and expects the same content
+// id rather than a second store entry.
+func TestUploadDedup(t *testing.T) {
+	ts := newTestServer(t)
+	a := uploadFixture(t, ts)
+	b := uploadFixture(t, ts)
+	if a != b {
+		t.Errorf("re-upload produced a new id: %q vs %q", a, b)
+	}
+	_, body := get(t, ts, "/v1/healthz")
+	var hr healthResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Campaigns != 1 {
+		t.Errorf("store holds %d campaigns after duplicate upload, want 1", hr.Campaigns)
+	}
+}
+
+// TestCollectRunsCap: a collect request beyond MaxCollectRuns is a
+// 400, not a multi-minute campaign.
+func TestCollectRunsCap(t *testing.T) {
+	ts := httptest.NewServer(New(Config{MaxCollectRuns: 10}).Handler())
+	defer ts.Close()
+	status, body := post(t, ts, "/v1/campaigns",
+		[]byte(`{"collect": {"problem": "costas", "size": 8, "runs": 50}}`))
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (body %s)", status, body)
+	}
+	if !strings.Contains(string(body), "cap") {
+		t.Errorf("error body %s does not mention the cap", body)
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lasvegas"
+)
+
+// defaultWorkers sizes the fit/collect pool when Config.Workers is 0.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// errUnknownCampaign reports a campaign id the store has never seen
+// (or has evicted). The HTTP layer maps it to 404.
+var errUnknownCampaign = errors.New("serve: unknown campaign id")
+
+// store is the daemon's in-memory campaign/model cache. Campaigns are
+// keyed by a content hash of their canonical JSON, so re-uploading the
+// same campaign — or restarting the daemon and uploading it again —
+// yields the same id and therefore byte-identical fit and predict
+// responses. Each entry fits at most once (single-flight): concurrent
+// /v1/fit and /v1/predict requests for one campaign block on the same
+// entry lock, and the fit itself runs inside the bounded worker pool
+// that also throttles server-side collection.
+type store struct {
+	pred *lasvegas.Predictor
+	sem  chan struct{} // bounds concurrent fit/collect work
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	order   []string // insertion order, for FIFO eviction
+	max     int
+}
+
+// entry is one cached campaign and its lazily-computed fit.
+type entry struct {
+	id       string
+	campaign *lasvegas.Campaign
+
+	mu     sync.Mutex      // serializes the single-flight fit
+	done   bool            // a fit outcome (model or fitErr) is cached
+	model  *lasvegas.Model // best accepted fit (nil when fitErr != nil)
+	cands  []lasvegas.Candidate
+	fitErr error
+}
+
+func newStore(pred *lasvegas.Predictor, workers, maxCampaigns int) *store {
+	if workers < 1 {
+		workers = 1
+	}
+	if maxCampaigns < 1 {
+		maxCampaigns = 1
+	}
+	return &store{
+		pred:    pred,
+		sem:     make(chan struct{}, workers),
+		entries: make(map[string]*entry),
+		max:     maxCampaigns,
+	}
+}
+
+// acquire claims a worker-pool slot, honouring ctx while waiting.
+func (s *store) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *store) release() { <-s.sem }
+
+// campaignID derives the deterministic content id of a campaign from
+// its canonical JSON encoding. SHA-256 (truncated to 128 bits), not a
+// cheap hash: the store dedups purely by id, so a constructible
+// collision would silently alias one client's campaign to another's
+// cached model.
+func campaignID(c *lasvegas.Campaign) (string, error) {
+	data, err := c.MarshalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return "c" + hex.EncodeToString(sum[:16]), nil
+}
+
+// add stores a campaign (deduplicating by content id) and returns its
+// entry. When the store is full the oldest entry that is not being
+// re-added is evicted first.
+func (s *store) add(c *lasvegas.Campaign) (*entry, error) {
+	id, err := campaignID(c)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[id]; ok {
+		return e, nil
+	}
+	for len(s.entries) >= s.max && len(s.order) > 0 {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.entries, oldest)
+	}
+	e := &entry{id: id, campaign: c}
+	s.entries[id] = e
+	s.order = append(s.order, id)
+	return e, nil
+}
+
+// get returns the entry for id or errUnknownCampaign.
+func (s *store) get(id string) (*entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[id]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("%w: %q", errUnknownCampaign, id)
+}
+
+// len reports the number of cached campaigns.
+func (s *store) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// fit runs the single-flight fit of the entry: every configured
+// family through Predictor.FitAll, the ranked table cached alongside
+// the best accepted model. Concurrent callers for one campaign block
+// on the entry lock and all receive the same cached outcome —
+// including a cached fit error (ErrCensored, ErrNoAcceptableFit),
+// which is deterministic for the campaign. ctx bounds only the wait
+// for a worker-pool slot; a caller cancelled while waiting does not
+// poison the entry, the next caller simply retries.
+func (s *store) fit(ctx context.Context, e *entry) ([]lasvegas.Candidate, *lasvegas.Model, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.done {
+		if err := s.acquire(ctx); err != nil {
+			return nil, nil, err
+		}
+		e.cands, e.model, e.fitErr = fitCampaign(s.pred, e.campaign)
+		s.release()
+		e.done = true
+	}
+	if e.fitErr != nil {
+		return nil, nil, e.fitErr
+	}
+	return e.cands, e.model, nil
+}
+
+// fitCampaign fits every candidate family once and selects the best
+// accepted model — Predictor.Fit's selection rule without fitting the
+// sample twice.
+func fitCampaign(pred *lasvegas.Predictor, c *lasvegas.Campaign) ([]lasvegas.Candidate, *lasvegas.Model, error) {
+	cands, err := pred.FitAll(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, cand := range cands {
+		if cand.Err == nil && cand.Model != nil && cand.Model.Accepted() {
+			return cands, cand.Model, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("%w (%d candidate families)", lasvegas.ErrNoAcceptableFit, len(cands))
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"lasvegas"
+)
+
+func testCampaign(t *testing.T) *lasvegas.Campaign {
+	t.Helper()
+	c, err := lasvegas.LoadCampaign(fixturePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSingleFlightFit hammers one entry from many goroutines and
+// requires every caller to receive the identical *Model — the proof
+// that the fit ran once. The race detector (CI's race job covers this
+// package) guards the store's locking.
+func TestSingleFlightFit(t *testing.T) {
+	s := newStore(lasvegas.New(), 2, 16)
+	e, err := s.add(testCampaign(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 32
+	models := make([]*lasvegas.Model, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, m, err := s.fit(context.Background(), e)
+			if err != nil {
+				t.Errorf("fit %d: %v", i, err)
+				return
+			}
+			models[i] = m
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if models[i] != models[0] {
+			t.Fatalf("caller %d received a different model instance — fit ran more than once", i)
+		}
+	}
+}
+
+// TestFitErrorCached: a deterministic fit failure (censored campaign)
+// is cached like a success, so retries don't re-run the estimators.
+func TestFitErrorCached(t *testing.T) {
+	s := newStore(lasvegas.New(), 1, 16)
+	c := &lasvegas.Campaign{
+		Problem:    "x",
+		Runs:       3,
+		Iterations: []float64{1, 2, 3},
+		Censored:   []int{1},
+		Budget:     2,
+	}
+	e, err := s.add(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		_, _, err := s.fit(context.Background(), e)
+		if !errors.Is(err, lasvegas.ErrCensored) {
+			t.Fatalf("fit %d: %v, want ErrCensored", i, err)
+		}
+	}
+	if !e.done {
+		t.Error("fit error was not cached")
+	}
+}
+
+// TestCancelledWaiterDoesNotPoison: a caller whose context dies while
+// waiting for a pool slot must not mark the entry failed for everyone
+// else.
+func TestCancelledWaiterDoesNotPoison(t *testing.T) {
+	s := newStore(lasvegas.New(), 1, 16)
+	e, err := s.add(testCampaign(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sem <- struct{}{} // occupy the only slot
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.fit(ctx, e); !errors.Is(err, context.Canceled) {
+		t.Fatalf("fit with dead ctx: %v, want context.Canceled", err)
+	}
+	<-s.sem // free the slot
+	if _, m, err := s.fit(context.Background(), e); err != nil || m == nil {
+		t.Fatalf("fit after cancelled waiter: %v (model %v), want success", err, m)
+	}
+}
+
+// TestEviction: the store caps entries FIFO.
+func TestEviction(t *testing.T) {
+	s := newStore(lasvegas.New(), 1, 2)
+	mk := func(seed uint64) *lasvegas.Campaign {
+		return &lasvegas.Campaign{Problem: "x", Runs: 1, Seed: seed, Iterations: []float64{float64(seed)}}
+	}
+	first, err := s.add(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.add(mk(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.add(mk(3)); err != nil {
+		t.Fatal(err)
+	}
+	if s.len() != 2 {
+		t.Errorf("store holds %d entries, want 2", s.len())
+	}
+	if _, err := s.get(first.id); !errors.Is(err, errUnknownCampaign) {
+		t.Errorf("oldest entry still present after eviction: %v", err)
+	}
+}
+
+// TestCampaignIDDeterminism: ids derive from content, not identity.
+func TestCampaignIDDeterminism(t *testing.T) {
+	a, err := campaignID(testCampaign(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := campaignID(testCampaign(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("ids differ for identical content: %q vs %q", a, b)
+	}
+	other := testCampaign(t)
+	other.Iterations[0]++
+	c, err := campaignID(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("id unchanged after mutating an observation")
+	}
+}

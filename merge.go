@@ -1,0 +1,181 @@
+package lasvegas
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Merge combines c with additional campaign shards collected on the
+// same problem instance — typically the output of `lvseq -shard i/n`
+// on different machines — into one pooled campaign, the distributed
+// counterpart of the paper's §5.4 single-host measurement step.
+//
+// Shards must agree on Problem, Size and Budget (ErrMergeMismatch
+// otherwise): runtime samples of different instances, or censored at
+// different budgets, are not draws of one distribution. Including the
+// same WithShard block twice is also ErrMergeMismatch — duplicated
+// observations bias every estimator. Observations are concatenated in
+// argument order, censoring indices are offset into the pooled
+// sample, and per-run Seconds survive only when every shard carries
+// them (a shard loaded from CSV has none, and padding with zeros
+// would corrupt TimeSummary).
+//
+// Seed is preserved only when the inputs provably reconstruct one
+// deterministic collection: a single input, or shards whose
+// "lasvegas.shard" annotations form the complete in-order cover
+// 0/n … (n-1)/n of one root seed. Any other pool — partial covers,
+// unannotated campaigns, mixed seeds — is a valid i.i.d. sample but
+// not a reproducible campaign, so Seed is zeroed. Metadata keeps only
+// keys on which every shard agrees (never the reserved
+// "lasvegas.shard*" annotations), which makes Merge associative:
+// merging shard by shard and merging all at once yield identical
+// campaigns.
+//
+// c itself is not modified; the result shares no slices with the
+// inputs.
+func (c *Campaign) Merge(shards ...*Campaign) (*Campaign, error) {
+	all := make([]*Campaign, 0, 1+len(shards))
+	all = append(all, c)
+	all = append(all, shards...)
+	return MergeCampaigns(all...)
+}
+
+// MergeCampaigns pools campaign shards (see Campaign.Merge); it is
+// the variadic form used when no shard is distinguished, e.g. the
+// lvserve merge endpoint.
+func MergeCampaigns(shards ...*Campaign) (*Campaign, error) {
+	if len(shards) == 0 {
+		return nil, ErrEmptyCampaign
+	}
+	first := shards[0]
+	if first == nil || len(first.Iterations) == 0 {
+		return nil, ErrEmptyCampaign
+	}
+	total := 0
+	seconds := true
+	sameSeed := true
+	for i, s := range shards {
+		if s == nil || len(s.Iterations) == 0 {
+			return nil, fmt.Errorf("%w: shard %d", ErrEmptyCampaign, i)
+		}
+		if err := s.validate(); err != nil {
+			return nil, fmt.Errorf("lasvegas: merge shard %d: %w", i, err)
+		}
+		if s.Problem != first.Problem {
+			return nil, fmt.Errorf("%w: problem %q vs %q", ErrMergeMismatch, s.Problem, first.Problem)
+		}
+		if s.Size != first.Size {
+			return nil, fmt.Errorf("%w: size %d vs %d", ErrMergeMismatch, s.Size, first.Size)
+		}
+		if s.Budget != first.Budget {
+			return nil, fmt.Errorf("%w: budget %d vs %d", ErrMergeMismatch, s.Budget, first.Budget)
+		}
+		total += len(s.Iterations)
+		if len(s.Seconds) != len(s.Iterations) {
+			seconds = false
+		}
+		if s.Seed != first.Seed {
+			sameSeed = false
+		}
+	}
+	cover, err := shardCover(shards)
+	if err != nil {
+		return nil, err
+	}
+	m := &Campaign{
+		Problem:    first.Problem,
+		Size:       first.Size,
+		Runs:       total,
+		Budget:     first.Budget,
+		Iterations: make([]float64, 0, total),
+		Metadata:   commonMetadata(shards),
+	}
+	if sameSeed && (len(shards) == 1 || cover) {
+		m.Seed = first.Seed
+	}
+	if seconds {
+		m.Seconds = make([]float64, 0, total)
+	}
+	offset := 0
+	for _, s := range shards {
+		m.Iterations = append(m.Iterations, s.Iterations...)
+		if seconds {
+			m.Seconds = append(m.Seconds, s.Seconds...)
+		}
+		for _, idx := range s.Censored {
+			m.Censored = append(m.Censored, offset+idx)
+		}
+		offset += len(s.Iterations)
+	}
+	return m, nil
+}
+
+// shardCover inspects the shards' reserved "lasvegas.shard"
+// annotations (written by WithShard collection). Including the same
+// annotated block twice is an error — the observations would be
+// duplicated, not pooled. cover reports whether the shards are the
+// complete in-order 0/n … (n-1)/n split of one collection, the only
+// case where the merged campaign is the deterministic unsharded
+// campaign and may keep its Seed.
+func shardCover(shards []*Campaign) (cover bool, err error) {
+	type annotation struct {
+		index, total int
+		runs         string
+	}
+	anns := make([]annotation, 0, len(shards))
+	allAnnotated := true
+	for _, s := range shards {
+		raw, ok := s.Metadata["lasvegas.shard"]
+		if !ok {
+			allAnnotated = false
+			continue
+		}
+		var a annotation
+		if _, err := fmt.Sscanf(raw, "%d/%d", &a.index, &a.total); err != nil ||
+			a.total <= 0 || a.index < 0 || a.index >= a.total {
+			allAnnotated = false
+			continue
+		}
+		a.runs = s.Metadata["lasvegas.shard.runs"]
+		for _, prev := range anns {
+			if prev == a {
+				return false, fmt.Errorf("%w: shard %d/%d included twice", ErrMergeMismatch, a.index, a.total)
+			}
+		}
+		anns = append(anns, a)
+	}
+	if !allAnnotated || len(anns) == 0 || len(anns) != anns[0].total {
+		return false, nil
+	}
+	for i, a := range anns {
+		if a.index != i || a.total != anns[0].total || a.runs != anns[0].runs {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// commonMetadata returns the metadata keys every shard carries with
+// an identical value (nil when none survive). The reserved
+// "lasvegas.shard*" annotations never survive: the pooled campaign is
+// not a shard.
+func commonMetadata(shards []*Campaign) map[string]string {
+	out := map[string]string{}
+	for k, v := range shards[0].Metadata {
+		if strings.HasPrefix(k, "lasvegas.shard") {
+			continue
+		}
+		out[k] = v
+	}
+	for _, s := range shards[1:] {
+		for k, v := range out {
+			if sv, ok := s.Metadata[k]; !ok || sv != v {
+				delete(out, k)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

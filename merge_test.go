@@ -1,0 +1,329 @@
+package lasvegas_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lasvegas"
+)
+
+// mergeShard builds a deterministic in-memory shard for merge tests.
+func mergeShard(problem string, size int, seed uint64, iters []float64, censored []int, budget int64) *lasvegas.Campaign {
+	secs := make([]float64, len(iters))
+	for i, it := range iters {
+		secs[i] = it / 1000
+	}
+	return &lasvegas.Campaign{
+		Problem:    problem,
+		Size:       size,
+		Runs:       len(iters),
+		Seed:       seed,
+		Iterations: iters,
+		Seconds:    secs,
+		Censored:   censored,
+		Budget:     budget,
+	}
+}
+
+func TestMergeMismatchRejected(t *testing.T) {
+	base := mergeShard("costas-13", 13, 1, []float64{1, 2}, nil, 0)
+	cases := []struct {
+		name  string
+		other *lasvegas.Campaign
+	}{
+		{"problem", mergeShard("costas-14", 13, 1, []float64{3}, nil, 0)},
+		{"size", mergeShard("costas-13", 14, 1, []float64{3}, nil, 0)},
+		{"budget", mergeShard("costas-13", 13, 1, []float64{3}, nil, 500)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := base.Merge(tc.other); !errors.Is(err, lasvegas.ErrMergeMismatch) {
+				t.Errorf("Merge with %s mismatch: %v, want ErrMergeMismatch", tc.name, err)
+			}
+		})
+	}
+	if _, err := base.Merge(nil); !errors.Is(err, lasvegas.ErrEmptyCampaign) {
+		t.Errorf("Merge with nil shard: %v, want ErrEmptyCampaign", err)
+	}
+	if _, err := base.Merge(&lasvegas.Campaign{Problem: "costas-13", Size: 13}); !errors.Is(err, lasvegas.ErrEmptyCampaign) {
+		t.Errorf("Merge with empty shard: %v, want ErrEmptyCampaign", err)
+	}
+}
+
+func TestMergeCensoringPropagation(t *testing.T) {
+	a := mergeShard("sat-3-120", 120, 7, []float64{100, 5000, 300}, []int{1}, 5000)
+	b := mergeShard("sat-3-120", 120, 7, []float64{5000, 80}, []int{0}, 5000)
+	c := mergeShard("sat-3-120", 120, 7, []float64{60, 70, 5000, 5000}, []int{2, 3}, 5000)
+	m, err := a.Merge(b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCensored := []int{1, 3, 7, 8} // shard offsets 0, 3, 5
+	if !reflect.DeepEqual(m.Censored, wantCensored) {
+		t.Errorf("merged censored = %v, want %v", m.Censored, wantCensored)
+	}
+	if m.Budget != 5000 || m.Runs != 9 || len(m.Iterations) != 9 {
+		t.Errorf("merged campaign %+v, want budget 5000 over 9 runs", m)
+	}
+	if !m.IsCensored() {
+		t.Error("merged campaign lost its censoring flag")
+	}
+	// The censored values sit at their budget in the pooled sample.
+	for _, idx := range m.Censored {
+		if m.Iterations[idx] != 5000 {
+			t.Errorf("censored run %d has iterations %v, want the 5000 budget", idx, m.Iterations[idx])
+		}
+	}
+}
+
+func TestMergeAssociativity(t *testing.T) {
+	a := mergeShard("costas-13", 13, 1, []float64{10, 20}, []int{0}, 100)
+	b := mergeShard("costas-13", 13, 1, []float64{30}, nil, 100)
+	c := mergeShard("costas-13", 13, 1, []float64{40, 100, 60}, []int{1}, 100)
+
+	allAtOnce, err := a.Merge(b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leftFold, err := ab.Merge(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := b.Merge(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rightFold, err := a.Merge(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(allAtOnce, leftFold) {
+		t.Errorf("merge not associative: (a·b)·c = %+v, a·b·c = %+v", leftFold, allAtOnce)
+	}
+	if !reflect.DeepEqual(allAtOnce, rightFold) {
+		t.Errorf("merge not associative: a·(b·c) = %+v, a·b·c = %+v", rightFold, allAtOnce)
+	}
+}
+
+func TestMergeMetadataAndSeconds(t *testing.T) {
+	a := mergeShard("costas-13", 13, 1, []float64{1}, nil, 0)
+	a.Metadata = map[string]string{
+		"solver":              "adaptive",
+		"host":                "machine-a",
+		"lasvegas.shard":      "0/2",
+		"lasvegas.shard.runs": "2",
+	}
+	b := mergeShard("costas-13", 13, 1, []float64{2}, nil, 0)
+	b.Metadata = map[string]string{
+		"solver":              "adaptive",
+		"host":                "machine-b",
+		"lasvegas.shard":      "1/2",
+		"lasvegas.shard.runs": "2",
+	}
+	m, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only keys every shard agrees on survive, and the reserved shard
+	// annotations never do.
+	if want := map[string]string{"solver": "adaptive"}; !reflect.DeepEqual(m.Metadata, want) {
+		t.Errorf("merged metadata = %v, want %v", m.Metadata, want)
+	}
+	if len(m.Seconds) != 2 {
+		t.Errorf("merged seconds = %v, want both shards' rows", m.Seconds)
+	}
+
+	// A shard without per-run seconds (e.g. loaded from CSV) drops
+	// the pooled Seconds column instead of padding with zeros.
+	b.Seconds = nil
+	m, err = a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Seconds) != 0 {
+		t.Errorf("merged seconds = %v, want none when a shard lacks them", m.Seconds)
+	}
+
+	// Different seeds cannot pretend to be one deterministic campaign.
+	b.Seed = 99
+	m, err = a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seed != 0 {
+		t.Errorf("merged seed = %d, want 0 for mixed-seed shards", m.Seed)
+	}
+}
+
+// annotate marks a shard the way WithShard collection does.
+func annotate(c *lasvegas.Campaign, index, total, runs int) *lasvegas.Campaign {
+	if c.Metadata == nil {
+		c.Metadata = map[string]string{}
+	}
+	c.Metadata["lasvegas.shard"] = fmt.Sprintf("%d/%d", index, total)
+	c.Metadata["lasvegas.shard.runs"] = fmt.Sprintf("%d", runs)
+	return c
+}
+
+// TestMergeDuplicateShardRejected: pooling the same collected block
+// twice duplicates observations and must fail, not bias the fit.
+func TestMergeDuplicateShardRejected(t *testing.T) {
+	a := annotate(mergeShard("costas-13", 13, 1, []float64{10, 20}, nil, 0), 0, 2, 4)
+	dup := annotate(mergeShard("costas-13", 13, 1, []float64{10, 20}, nil, 0), 0, 2, 4)
+	b := annotate(mergeShard("costas-13", 13, 1, []float64{30, 40}, nil, 0), 1, 2, 4)
+	if _, err := a.Merge(dup); !errors.Is(err, lasvegas.ErrMergeMismatch) {
+		t.Errorf("Merge with duplicate shard: %v, want ErrMergeMismatch", err)
+	}
+	if _, err := a.Merge(b); err != nil {
+		t.Errorf("Merge of distinct shards: %v, want success", err)
+	}
+}
+
+// TestMergeSeedOnlyForCompleteCover: Seed survives only when the
+// shards provably reconstruct one deterministic collection; a partial
+// or unannotated pool is a valid sample but not a reproducible
+// campaign.
+func TestMergeSeedOnlyForCompleteCover(t *testing.T) {
+	shard := func(i int) *lasvegas.Campaign {
+		return annotate(mergeShard("costas-13", 13, 7, []float64{float64(i + 1)}, nil, 0), i, 3, 3)
+	}
+	complete, err := lasvegas.MergeCampaigns(shard(0), shard(1), shard(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete.Seed != 7 {
+		t.Errorf("complete in-order cover: seed %d, want 7", complete.Seed)
+	}
+	partial, err := lasvegas.MergeCampaigns(shard(0), shard(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Seed != 0 {
+		t.Errorf("partial cover: seed %d, want 0", partial.Seed)
+	}
+	outOfOrder, err := lasvegas.MergeCampaigns(shard(1), shard(0), shard(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outOfOrder.Seed != 0 {
+		t.Errorf("out-of-order cover: seed %d, want 0", outOfOrder.Seed)
+	}
+	unannotated, err := lasvegas.MergeCampaigns(
+		mergeShard("costas-13", 13, 7, []float64{1}, nil, 0),
+		mergeShard("costas-13", 13, 7, []float64{2}, nil, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unannotated.Seed != 0 {
+		t.Errorf("unannotated pool: seed %d, want 0", unannotated.Seed)
+	}
+}
+
+// TestMergeGoldenRoundTrip locks the JSON encoding of a merged
+// campaign against testdata/campaign_merged.golden (regenerate with
+// UPDATE_API=1) and round-trips it back through ReadCampaign.
+func TestMergeGoldenRoundTrip(t *testing.T) {
+	a := mergeShard("sat-3-120", 120, 42, []float64{1203, 88, 5000}, []int{2}, 5000)
+	a.Metadata = map[string]string{"solver": "walksat", "lasvegas.shard": "0/2"}
+	b := mergeShard("sat-3-120", 120, 42, []float64{764, 5000, 331}, []int{1}, 5000)
+	b.Metadata = map[string]string{"solver": "walksat", "lasvegas.shard": "1/2"}
+	m, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "campaign_merged.golden")
+	if os.Getenv("UPDATE_API") != "" {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", goldenPath)
+		return
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_API=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Errorf("merged campaign JSON drifted from golden:\n got: %s\nwant: %s", buf.Bytes(), golden)
+	}
+
+	back, err := lasvegas.ReadCampaign(bytes.NewReader(golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, m) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", back, m)
+	}
+}
+
+// TestShardedCollectMergesToFullCampaign is the distributed-collection
+// contract: WithShard streams split from the root seed at global run
+// indices, so pooling every shard reproduces the single-machine
+// campaign's iteration counts exactly.
+func TestShardedCollectMergesToFullCampaign(t *testing.T) {
+	ctx := context.Background()
+	const runs, seed = 24, 7
+	full, err := lasvegas.New(lasvegas.WithRuns(runs), lasvegas.WithSeed(seed)).
+		Collect(ctx, lasvegas.Costas, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []*lasvegas.Campaign
+	for i := 0; i < 3; i++ {
+		s, err := lasvegas.New(lasvegas.WithRuns(runs), lasvegas.WithSeed(seed),
+			lasvegas.WithShard(i, 3)).Collect(ctx, lasvegas.Costas, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Metadata["lasvegas.shard"] == "" {
+			t.Errorf("shard %d missing the lasvegas.shard annotation: %v", i, s.Metadata)
+		}
+		shards = append(shards, s)
+	}
+	merged, err := lasvegas.MergeCampaigns(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Iterations, full.Iterations) {
+		t.Errorf("merged shard iterations differ from the unsharded campaign:\n got %v\nwant %v",
+			merged.Iterations, full.Iterations)
+	}
+	if merged.Seed != seed || merged.Runs != runs {
+		t.Errorf("merged campaign seed/runs = %d/%d, want %d/%d", merged.Seed, merged.Runs, seed, runs)
+	}
+}
+
+// TestShardValidation: out-of-range shards fail Collect loudly instead
+// of emitting an empty campaign.
+func TestShardValidation(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct{ index, total int }{
+		{1, 1}, {2, 2}, {-1, 2}, {0, 0}, {0, -3},
+	} {
+		p := lasvegas.New(lasvegas.WithRuns(4), lasvegas.WithShard(tc.index, tc.total))
+		if _, err := p.Collect(ctx, lasvegas.Costas, 9); err == nil {
+			t.Errorf("Collect with shard %d/%d succeeded, want error", tc.index, tc.total)
+		}
+	}
+	// More shards than runs: the empty block errors rather than
+	// producing a campaign with no observations.
+	p := lasvegas.New(lasvegas.WithRuns(2), lasvegas.WithShard(2, 4))
+	if _, err := p.Collect(ctx, lasvegas.Costas, 9); err == nil {
+		t.Error("Collect of an empty shard block succeeded, want error")
+	}
+}

@@ -1,0 +1,55 @@
+package lasvegas
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// modelJSON is the wire form of a fitted model: the family, the
+// rendered law, and the closed-form invariants of its speed-up curve.
+// Non-finite values (the linear-forever speed-up limit) are expressed
+// through the *_infinite flags because JSON has no Inf literal.
+type modelJSON struct {
+	Family        Family   `json:"family"`
+	Law           string   `json:"law"`
+	Mean          float64  `json:"mean"`
+	Linear        bool     `json:"linear"`
+	Tangent       float64  `json:"tangent_at_origin"`
+	Limit         *float64 `json:"limit,omitempty"`
+	LimitInfinite bool     `json:"limit_infinite,omitempty"`
+	KS            *ksJSON  `json:"ks,omitempty"`
+}
+
+// ksJSON is the wire form of a goodness-of-fit verdict.
+type ksJSON struct {
+	Stat     float64 `json:"stat"`
+	PValue   float64 `json:"p_value"`
+	N        int     `json:"n"`
+	Accepted bool    `json:"accepted"`
+}
+
+// MarshalJSON implements json.Marshaler: the model's family, rendered
+// law, sequential mean, speed-up-curve invariants (linearity, tangent
+// at the origin, the n→∞ limit) and — when the model was fitted rather
+// than plugged in — its KS verdict. This is the payload lvserve's
+// /v1/fit and /v1/predict responses embed; it is deliberately
+// deterministic for a given model so that fixed-seed service responses
+// are byte-stable.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	j := modelJSON{
+		Family:  m.family,
+		Law:     m.law.String(),
+		Mean:    m.Mean(),
+		Linear:  m.Linear(),
+		Tangent: m.TangentAtOrigin(),
+	}
+	if lim := m.Limit(); math.IsInf(lim, 1) {
+		j.LimitInfinite = true
+	} else {
+		j.Limit = &lim
+	}
+	if g, ok := m.GoodnessOfFit(); ok {
+		j.KS = &ksJSON{Stat: g.Stat, PValue: g.PValue, N: g.N, Accepted: m.Accepted()}
+	}
+	return json.Marshal(j)
+}

@@ -15,15 +15,17 @@ type Predictor struct {
 }
 
 type config struct {
-	families  []Family
-	alpha     float64
-	runs      int
-	seed      uint64
-	workers   int
-	budget    int64
-	simReps   int
-	resamples int
-	level     float64
+	families   []Family
+	alpha      float64
+	runs       int
+	seed       uint64
+	workers    int
+	budget     int64
+	simReps    int
+	resamples  int
+	level      float64
+	shardIndex int
+	shardTotal int
 }
 
 // Option configures a Predictor.
@@ -67,6 +69,19 @@ func WithBudget(maxIterations int64) Option {
 	return func(c *config) { c.budget = maxIterations }
 }
 
+// WithShard restricts Collect to shard `index` of `total`: the
+// contiguous block [runs·index/total, runs·(index+1)/total) of the
+// full campaign's run indices, with per-run random streams still
+// split from the root seed at the *global* index. Collecting every
+// shard (on as many machines as you like) and pooling them with
+// Campaign.Merge therefore reproduces the unsharded campaign's
+// iteration counts exactly. WithShard(0, 1) — the default — collects
+// everything. Collect rejects index/total with total ≤ 0 or
+// index outside [0, total).
+func WithShard(index, total int) Option {
+	return func(c *config) { c.shardIndex, c.shardTotal = index, total }
+}
+
 // WithSimReps sets the repetitions per core count used by
 // SimulateSpeedups when called through the Predictor (default 3000).
 func WithSimReps(reps int) Option {
@@ -83,12 +98,13 @@ func WithBootstrap(resamples int, level float64) Option {
 // paper defaults.
 func New(opts ...Option) *Predictor {
 	cfg := config{
-		alpha:     0.05,
-		runs:      200,
-		seed:      1,
-		simReps:   3000,
-		resamples: 200,
-		level:     0.95,
+		alpha:      0.05,
+		runs:       200,
+		seed:       1,
+		simReps:    3000,
+		resamples:  200,
+		level:      0.95,
+		shardTotal: 1,
 	}
 	for _, opt := range opts {
 		opt(&cfg)

@@ -1,18 +1,99 @@
 #!/bin/sh
-# Record a benchmark baseline: run the full suite with -benchmem and
-# write both the raw `go test` output (BENCH_<n>.txt) and a parsed
-# JSON summary (BENCH_<n>.json) so future perf PRs have a trajectory
-# to compare against.
+# Benchmark trajectory tooling.
+#
+# Record mode — run the full suite with -benchmem and write both the
+# raw `go test` output (BENCH_<n>.txt) and a parsed JSON summary
+# (BENCH_<n>.json) so future perf PRs have a trajectory to compare
+# against:
 #
 #   scripts/bench.sh [index] [benchtime]
 #
 # Defaults: index 1, benchtime 1x (a smoke pass; use e.g. `bench.sh 2
-# 1s` for statistically meaningful numbers).
+# 0.25s` for statistically meaningful numbers).
+#
+# Compare mode — the CI bench-regression gate. Re-runs the ablation
+# kernels and compares each ablation *ratio* (slow variant ns/op over
+# fast variant ns/op — the speed-up the optimisation buys) against the
+# committed baseline, failing when a ratio regressed by more than 25%.
+# Ratios rather than absolute ns/op, because the baseline was recorded
+# on different hardware than the CI runner; the advantage of an
+# optimisation over its ablation is the machine-portable signal:
+#
+#   scripts/bench.sh compare [baseline.json] [benchtime]
+#
+# Defaults: the highest-index committed BENCH_<n>.json, benchtime
+# 0.25s (1x timings are too noisy to gate on).
 set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "compare" ]; then
+    baseline="${2:-}"
+    benchtime="${3:-0.25s}"
+    if [ -z "$baseline" ]; then
+        baseline="$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)"
+    fi
+    [ -f "$baseline" ] || { echo "bench.sh: no baseline $baseline" >&2; exit 1; }
+    echo "comparing ablation ratios against $baseline (benchtime $benchtime)"
+
+    current="$(mktemp)"
+    trap 'rm -f "$current"' EXIT
+    go test -run='^$' -bench=BenchmarkAblation -benchtime="$benchtime" ./... | tee "$current"
+
+    # Baseline pairs: "name ns_per_op", one benchmark per line.
+    base_pairs="$(sed -n 's/.*"name": "\(BenchmarkAblation[^"]*\)".*"ns_per_op": \([0-9.e+]*\).*/\1 \2/p' "$baseline")"
+
+    printf '%s\n' "$base_pairs" | awk -v currentfile="$current" '
+    # Collect baseline ns/op per benchmark (stdin), stripping the
+    # -GOMAXPROCS suffix a multi-core recording machine appends so
+    # baselines recorded anywhere line up.
+    { name = $1; sub(/-[0-9]+$/, "", name); base[name] = $2 }
+    END {
+        # Collect current ns/op, stripping the -GOMAXPROCS suffix so
+        # runs from machines with different core counts line up.
+        while ((getline line < currentfile) > 0) {
+            n = split(line, f, /[ \t]+/)
+            if (f[1] !~ /^BenchmarkAblation/ || n < 3) continue
+            name = f[1]; sub(/-[0-9]+$/, "", name)
+            cur[name] = f[3]
+        }
+        # Group by the parent benchmark (the part before the "/"):
+        # each ablation has exactly one fast and one slow variant, so
+        # the group ratio is max/min.
+        for (name in base) {
+            g = name; sub(/\/.*/, "", g)
+            if (!(g in bmin) || base[name] < bmin[g]) bmin[g] = base[name]
+            if (!(g in bmax) || base[name] > bmax[g]) bmax[g] = base[name]
+            if (!(name in cur)) { missing = missing " " name; continue }
+            if (!(g in cmin) || cur[name] < cmin[g]) cmin[g] = cur[name]
+            if (!(g in cmax) || cur[name] > cmax[g]) cmax[g] = cur[name]
+        }
+        if (missing != "") {
+            printf "FAIL: benchmarks in baseline but not in this run:%s\n", missing
+            exit 1
+        }
+        fails = 0
+        printf "\n%-44s %12s %12s %10s\n", "ablation", "base ratio", "now ratio", "verdict"
+        for (g in bmin) {
+            if (!(g in cmin)) continue
+            br = bmax[g] / bmin[g]; cr = cmax[g] / cmin[g]
+            verdict = "ok"
+            # The optimisation must keep at least 75% of its recorded
+            # advantage over the ablated variant.
+            if (cr < 0.75 * br) { verdict = "REGRESSED"; fails++ }
+            printf "%-44s %12.1f %12.1f %10s\n", g, br, cr, verdict
+        }
+        if (fails > 0) {
+            printf "\nFAIL: %d ablation ratio(s) regressed by more than 25%%\n", fails
+            exit 1
+        }
+        print "\nbench compare: OK"
+    }'
+    exit 0
+fi
 
 idx="${1:-1}"
 benchtime="${2:-1x}"
-cd "$(dirname "$0")/.."
 
 raw="BENCH_${idx}.txt"
 json="BENCH_${idx}.json"

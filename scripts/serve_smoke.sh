@@ -1,0 +1,112 @@
+#!/bin/sh
+# End-to-end smoke of the lvserve prediction daemon: build it, start
+# it on a loopback port, replay the collect→fit→predict pipeline over
+# HTTP with the committed fixed-seed Costas campaign, assert the
+# responses are numerically sane, then restart the daemon and require
+# byte-identical fit/predict responses (the determinism contract that
+# makes cached service answers trustworthy). Exits non-zero on any
+# failed assertion; the daemon is always shut down.
+#
+#   scripts/serve_smoke.sh [port]
+#
+# Needs curl and jq (both present on the GitHub Actions runners).
+set -eu
+
+port="${1:-18080}"
+cd "$(dirname "$0")/.."
+
+fixture=testdata/campaign_costas13.json
+base="http://127.0.0.1:$port"
+tmp="$(mktemp -d)"
+pid=""
+
+cleanup() {
+    status=$?
+    if [ -n "$pid" ]; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+    exit $status
+}
+trap cleanup EXIT INT TERM
+
+echo "== building lvserve"
+go build -o "$tmp/lvserve" ./cmd/lvserve
+
+start_daemon() {
+    "$tmp/lvserve" -addr "127.0.0.1:$port" >"$tmp/lvserve.log" 2>&1 &
+    pid=$!
+    i=0
+    until curl -fsS "$base/v1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "lvserve did not become healthy; log:" >&2
+            cat "$tmp/lvserve.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+stop_daemon() {
+    kill "$pid"
+    wait "$pid" 2>/dev/null || true
+    pid=""
+}
+
+# One pass of the pipeline; writes fit/predict bodies to "$tmp/fit.$1"
+# and "$tmp/predict.$1".
+pipeline() {
+    pass="$1"
+
+    echo "== ($pass) healthz"
+    curl -fsS "$base/v1/healthz" | jq -e '.status == "ok"' >/dev/null
+
+    echo "== ($pass) upload campaign"
+    curl -fsS -d @"$fixture" "$base/v1/campaigns" >"$tmp/upload.$pass"
+    id="$(jq -r .id "$tmp/upload.$pass")"
+    [ -n "$id" ] && [ "$id" != null ]
+    jq -e '.problem == "costas-13" and .runs == 200' "$tmp/upload.$pass" >/dev/null
+
+    echo "== ($pass) fit (expect 200 with an accepted candidate)"
+    code="$(curl -sS -o "$tmp/fit.$pass" -w '%{http_code}' \
+        -d "{\"id\":\"$id\"}" "$base/v1/fit")"
+    [ "$code" = 200 ] || { echo "fit returned $code: $(cat "$tmp/fit.$pass")" >&2; exit 1; }
+    jq -e '.best.family != null and .best.mean > 0' "$tmp/fit.$pass" >/dev/null
+    jq -e '.candidates[0].accepted == true' "$tmp/fit.$pass" >/dev/null
+
+    echo "== ($pass) predict (numeric sanity)"
+    curl -fsS "$base/v1/predict?id=$id&cores=16,64,256&quantile=0.5&target=8" \
+        >"$tmp/predict.$pass"
+    # Speed-ups must be finite, strictly increasing in n, and never
+    # exceed the core count; E[Z(n)] positive; 8x needs >= 8 cores.
+    jq -e '
+        (.speedups | length) == 3
+        and ([.speedups[].speedup] | . == (sort) and .[0] > 1)
+        and ([.speedups[] | select(.speedup > .cores)] | length == 0)
+        and ([.speedups[] | select(.min_expectation <= 0)] | length == 0)
+        and .quantiles[0].value > 0
+        and .cores_for_speedup.cores >= 8
+    ' "$tmp/predict.$pass" >/dev/null
+
+    echo "== ($pass) error mapping (unknown id -> 404)"
+    code="$(curl -sS -o /dev/null -w '%{http_code}' \
+        -d '{"id":"c0000000000000000"}' "$base/v1/fit")"
+    [ "$code" = 404 ]
+}
+
+echo "== starting lvserve on port $port"
+start_daemon
+pipeline first
+echo "== restarting daemon"
+stop_daemon
+start_daemon
+pipeline second
+stop_daemon
+
+echo "== byte-stability across restarts"
+cmp "$tmp/fit.first" "$tmp/fit.second"
+cmp "$tmp/predict.first" "$tmp/predict.second"
+
+echo "serve smoke: OK"
