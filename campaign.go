@@ -241,6 +241,29 @@ func ReadCampaignCSV(r io.Reader) (*Campaign, error) {
 // IsCensored reports whether any run was cut off by the budget.
 func (c *Campaign) IsCensored() bool { return len(c.Censored) > 0 }
 
+// CensoredFraction returns the fraction of runs cut off by the
+// budget (0 for complete or empty campaigns).
+func (c *Campaign) CensoredFraction() float64 {
+	if len(c.Iterations) == 0 {
+		return 0
+	}
+	return float64(len(c.Censored)) / float64(len(c.Iterations))
+}
+
+// Observations returns the campaign as parallel value / censoring
+// slices — the representation the survival estimators consume. The
+// values slice is the campaign's own Iterations (not a copy); the
+// flags slice is freshly built from the Censored indices.
+func (c *Campaign) Observations() (values []float64, censored []bool) {
+	censored = make([]bool, len(c.Iterations))
+	for _, i := range c.Censored {
+		if i >= 0 && i < len(censored) {
+			censored[i] = true
+		}
+	}
+	return c.Iterations, censored
+}
+
 // censoredSet returns the censored indices as a lookup set.
 func (c *Campaign) censoredSet() map[int]bool {
 	if len(c.Censored) == 0 {

@@ -4,9 +4,16 @@
 // parallel speed-ups — both from the best parametric fit and from the
 // nonparametric empirical plug-in.
 //
+// Censored campaigns (collected with `lvseq -maxiter`) are handled
+// automatically: the candidate table switches to the censored
+// maximum-likelihood estimators ranked by censored log-likelihood
+// (KS/AD verdicts restricted to the uncensored region), and the
+// plug-in predictor becomes the Kaplan–Meier product-limit law.
+//
 // Usage:
 //
 //	lvpredict -in costas12.json -cores 16,32,64,128,256
+//	lvpredict -in costas12_budgeted.json            # censored input
 //	lvpredict -problem all-interval -size 20 -runs 200
 //	lvpredict -problem sat-3 -size 120 -runs 300
 package main
@@ -41,36 +48,52 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("sample: %s (%d observations)\n\n", label, len(campaign.Iterations))
+	fmt.Printf("sample: %s (%d observations)\n", label, len(campaign.Iterations))
+	censored := campaign.IsCensored()
+	if censored {
+		fmt.Printf("censored: %d of %d runs (%.1f%%) at the %d-iteration budget — using Kaplan–Meier + censored MLE\n",
+			len(campaign.Censored), len(campaign.Iterations), 100*campaign.CensoredFraction(), campaign.Budget)
+	}
+	fmt.Println()
 
-	// §6: candidate families ranked by KS p-value, with the
-	// tail-sensitive Anderson–Darling verdict alongside.
+	// §6: candidate families ranked by KS p-value (censored campaigns:
+	// by censored log-likelihood, with KS/AD restricted to the
+	// uncensored region), the tail-sensitive Anderson–Darling verdict
+	// alongside.
+	wideFams := []lasvegas.Family{lasvegas.Exponential, lasvegas.ShiftedExponential,
+		lasvegas.LogNormal, lasvegas.Normal, lasvegas.Levy}
+	if censored {
+		wideFams = lasvegas.CensoredFamilies()
+	}
 	wide := lasvegas.New(
-		lasvegas.WithFamilies(lasvegas.Exponential, lasvegas.ShiftedExponential,
-			lasvegas.LogNormal, lasvegas.Normal, lasvegas.Levy),
+		lasvegas.WithFamilies(wideFams...),
+		lasvegas.WithCensoredFit(true),
 		lasvegas.WithAlpha(*alpha))
 	cands, err := wide.FitAll(campaign)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-22s %-42s %9s %9s %9s %s\n", "family", "fitted", "KS D", "KS p", "AD p", "verdict")
+	fmt.Printf("%-22s %-42s %9s %9s %9s %10s %s\n", "family", "fitted", "KS D", "KS p", "AD p", "logL", "verdict")
 	for _, c := range cands {
 		if c.Err != nil {
-			fmt.Printf("%-22s %-42s %9s %9s %9s could not fit (%v)\n", c.Family, "-", "-", "-", "-", c.Err)
+			fmt.Printf("%-22s %-42s %9s %9s %9s %10s could not fit (%v)\n", c.Family, "-", "-", "-", "-", "-", c.Err)
 			continue
 		}
-		adP := "-"
+		adP, logL := "-", "-"
 		if c.ADValid {
 			adP = fmt.Sprintf("%.4f", c.AD.PValue)
+		}
+		if c.LogLikValid {
+			logL = fmt.Sprintf("%.4g", c.LogLik)
 		}
 		verdict := "accepted"
 		if c.KS.RejectedAt(*alpha) {
 			verdict = fmt.Sprintf("REJECTED at α=%g", *alpha)
 		}
-		fmt.Printf("%-22s %-42s %9.4f %9.4f %9s %s\n", c.Family, c.Law, c.KS.Stat, c.KS.PValue, adP, verdict)
+		fmt.Printf("%-22s %-42s %9.4f %9.4f %9s %10s %s\n", c.Family, c.Law, c.KS.Stat, c.KS.PValue, adP, logL, verdict)
 	}
 
-	pred := lasvegas.New(lasvegas.WithAlpha(*alpha))
+	pred := lasvegas.New(lasvegas.WithAlpha(*alpha), lasvegas.WithCensoredFit(true))
 	best, err := pred.Fit(campaign)
 	if err != nil {
 		fatal(fmt.Errorf("no family accepted: %w", err))
@@ -81,7 +104,12 @@ func main() {
 	}
 
 	gof, _ := best.GoodnessOfFit()
-	fmt.Printf("\nbest fit: %s (p=%.4f)\n", best, gof.PValue)
+	if est := best.Estimator(); est != lasvegas.EstimatorComplete {
+		fmt.Printf("\nbest fit: %s (restricted-KS p=%.4f, %s, %.1f%% censored)\n",
+			best, gof.PValue, est, 100*best.CensoredFraction())
+	} else {
+		fmt.Printf("\nbest fit: %s (p=%.4f)\n", best, gof.PValue)
+	}
 	if best.Linear() {
 		fmt.Println("prediction: strictly linear speed-up (x0 = 0 exponential case)")
 	}

@@ -48,6 +48,9 @@ func main() {
 	if err != nil {
 		usage(err)
 	}
+	if *maxIter < 0 {
+		usage(fmt.Errorf("bad -maxiter %d: want 0 (unbounded) or a positive per-run budget", *maxIter))
+	}
 	prob := lasvegas.Problem(*problem)
 	if *size == 0 {
 		*size = prob.DefaultSize()
@@ -77,7 +80,10 @@ func main() {
 	fmt.Printf("%-22s %12.4g %12.4g %12.4g %12.4g\n", "seconds", ts.Min, ts.Mean, ts.Median, ts.Max)
 	fmt.Printf("\nmax/min iteration ratio: %.1f (the paper observes ratios in the thousands)\n", it.Max/it.Min)
 	if c.IsCensored() {
-		fmt.Printf("censored: %d of %d runs hit the %d-iteration budget\n", len(c.Censored), c.Runs, c.Budget)
+		fmt.Printf("censored: %d of %d runs (%.1f%%) hit the %d-iteration budget\n",
+			len(c.Censored), c.Runs, 100*c.CensoredFraction(), c.Budget)
+		fmt.Println("hint: censored campaigns still fit — lvpredict and lvserve route them through the" +
+			" Kaplan–Meier / censored-MLE estimators automatically")
 	}
 
 	if *outJSON != "" {

@@ -51,6 +51,45 @@
 // errors (ErrNoAcceptableFit, ErrCensored, ErrSchema, ...) make the
 // failure modes programmable.
 //
+// # Censored campaigns
+//
+// The cheapest campaigns cap each run at an iteration budget
+// (WithBudget, `lvseq -maxiter`); runs that exhaust it are recorded
+// as censored — observed only as "longer than the budget". The §6
+// estimators assume complete samples, so by default such campaigns
+// fail with ErrCensored. WithCensoredFit turns them into predictions
+// instead, via the internal/survival estimators (Hoos & Stützle's
+// bounded-measurement treatment): Fit/FitAll run censored maximum
+// likelihood over CensoredFamilies, ranked by censored log-likelihood
+// with KS/AD verdicts restricted to the uncensored region, and PlugIn
+// returns the Kaplan–Meier product-limit law (bit-identical to the
+// empirical plug-in when nothing is censored). The fitted Model
+// records CensoredFraction and Estimator in its JSON. Collect cheap,
+// fit, predict:
+//
+//	p := lasvegas.New(lasvegas.WithRuns(200), lasvegas.WithSeed(1),
+//		lasvegas.WithBudget(1274),        // ~25% of Costas-13 runs censored
+//		lasvegas.WithCensoredFit(true))
+//	campaign, err := p.Collect(ctx, lasvegas.Costas, 13)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	model, err := p.Fit(campaign) // censored MLE, no ErrCensored
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	km, _ := p.PlugIn(campaign) // Kaplan–Meier plug-in law
+//	g, _ := model.Speedup(64)
+//	z, _ := km.MinExpectation(64)
+//	fmt.Printf("%s (%.0f%% censored): G(64)=%.1f, KM E[Z(64)]=%.0f\n",
+//		model, 100*model.CensoredFraction(), g, z)
+//
+// lvserve fits censored uploads the same way (409 now means merge
+// mismatch only), and `lvexp -run censored` holds the estimators
+// against multi-walk simulation at several budget levels. Only
+// SimulateSpeedups, BootstrapCI and LearnScaling still require
+// complete samples.
+//
 // # Serving
 //
 // cmd/lvserve (package internal/serve) puts the same pipeline behind

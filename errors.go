@@ -12,9 +12,14 @@ var (
 	ErrNoAcceptableFit = errors.New("lasvegas: no candidate family passes the KS test")
 
 	// ErrCensored is returned by the fitting methods when the campaign
-	// contains censored runs (runs cut off by an iteration budget):
-	// the §6 estimators assume fully observed runtimes, so a censored
-	// sample would bias every fit toward optimism.
+	// contains censored runs (runs cut off by an iteration budget) and
+	// WithCensoredFit is not enabled: the §6 estimators assume fully
+	// observed runtimes, so a censored sample would bias every fit
+	// toward optimism. With WithCensoredFit enabled the survival
+	// estimators absorb the censoring, and ErrCensored remains only
+	// for campaigns whose runs are all censored (nothing to anchor an
+	// estimate) and for the complete-sample-only paths
+	// (SimulateSpeedups, BootstrapCI, LearnScaling).
 	ErrCensored = errors.New("lasvegas: campaign contains censored runs")
 
 	// ErrEmptyCampaign reports a campaign without observations.

@@ -2,7 +2,10 @@ package dist
 
 import (
 	"math"
+	"sort"
 	"testing"
+
+	"lasvegas/internal/xrand"
 )
 
 // TestQuantileBatchMatchesPointwise: the vectorized quantile of every
@@ -67,6 +70,70 @@ func TestQuantilesFallback(t *testing.T) {
 	for i, p := range ps {
 		if buf[i] != ln.Quantile(p) {
 			t.Errorf("aliased Quantiles(%g) = %v, want %v", p, buf[i], ln.Quantile(p))
+		}
+	}
+}
+
+// TestGammaBetaQuantileBatch: the two families that used to be
+// bisection-only now carry initializer-plus-Newton batched quantiles.
+// Batched must equal pointwise bit for bit, and both must invert the
+// CDF to near machine precision across shapes spanning the
+// small-shape, near-exponential and large-shape regimes.
+func TestGammaBetaQuantileBatch(t *testing.T) {
+	ps := []float64{0, 1e-10, 1e-4, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1 - 1e-6, 1}
+	var laws []Dist
+	for _, k := range []float64{0.15, 0.7, 1, 2.5, 40} {
+		g, err := NewGamma(k, 1.0/300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		laws = append(laws, g)
+	}
+	for _, ab := range [][2]float64{{0.4, 0.7}, {1, 1}, {2, 5}, {30, 0.8}, {12, 9}} {
+		b, err := NewBeta(ab[0], ab[1], 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		laws = append(laws, b)
+	}
+	for _, d := range laws {
+		bq, ok := d.(BatchQuantiler)
+		if !ok {
+			t.Fatalf("%s: no QuantileBatch", d)
+		}
+		dst := make([]float64, len(ps))
+		bq.QuantileBatch(ps, dst)
+		for i, p := range ps {
+			want := d.Quantile(p)
+			if dst[i] != want && !(math.IsNaN(dst[i]) && math.IsNaN(want)) {
+				t.Errorf("%s: QuantileBatch(%g) = %v, Quantile = %v", d, p, dst[i], want)
+			}
+			if p <= 0 || p >= 1 {
+				continue
+			}
+			if back := d.CDF(want); math.Abs(back-p) > 1e-10*(p+1e-12) && math.Abs(back-p) > 1e-13 {
+				t.Errorf("%s: CDF(Quantile(%g)) = %v (round-trip error %g)", d, p, back, math.Abs(back-p))
+			}
+		}
+	}
+}
+
+// TestGammaQuantileMatchesSampling: the Newton quantile must agree
+// with the sampler it feeds — a coarse two-sided check at the
+// quartiles over a large fixed-seed sample.
+func TestGammaQuantileMatchesSampling(t *testing.T) {
+	g, err := NewGamma(2.2, 1.0/150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(99)
+	sample := SampleN(g, r, 60000)
+	sort.Float64s(sample)
+	for _, p := range []float64{0.25, 0.5, 0.75, 0.95} {
+		q := g.Quantile(p)
+		emp := sample[int(p*float64(len(sample)))]
+		if rel := math.Abs(q-emp) / q; rel > 0.03 {
+			t.Errorf("Quantile(%g) = %v vs sampled %v (rel %g)", p, q, emp, rel)
 		}
 	}
 }

@@ -30,7 +30,6 @@ package dist
 
 import (
 	"errors"
-	"math"
 
 	"lasvegas/internal/xrand"
 )
@@ -96,36 +95,7 @@ func SampleN(d Dist, r *xrand.Rand, n int) []float64 {
 	return out
 }
 
-// quantileByInversion numerically inverts a CDF on the bracket
-// [lo, hi] by bisection polished with Newton steps when a density is
-// available. It is the slow path for the two families (gamma, beta)
-// whose quantile has no closed form; everything else never calls it.
-func quantileByInversion(cdf func(float64) float64, pdf func(float64) float64, p, lo, hi float64) float64 {
-	for i := 0; i < 200; i++ {
-		mid := 0.5 * (lo + hi)
-		if cdf(mid) < p {
-			lo = mid
-		} else {
-			hi = mid
-		}
-		if hi-lo <= 1e-14*(1+math.Abs(lo)) {
-			break
-		}
-	}
-	x := 0.5 * (lo + hi)
-	if pdf != nil {
-		for i := 0; i < 3; i++ {
-			d := pdf(x)
-			if d <= 0 || math.IsNaN(d) {
-				break
-			}
-			step := (cdf(x) - p) / d
-			nx := x - step
-			if nx <= lo || nx >= hi {
-				break
-			}
-			x = nx
-		}
-	}
-	return x
-}
+// Every family now inverts its CDF analytically or with an
+// initializer-plus-Newton scheme of its own (gamma: Wilson–Hilferty;
+// beta: AS 109-style starting values); the former generic
+// 200-step bisection fallback is gone.

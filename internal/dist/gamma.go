@@ -57,8 +57,12 @@ func (d Gamma) PDF(x float64) float64 {
 	return math.Exp(d.Shape*math.Log(d.Rate) + (d.Shape-1)*math.Log(x) - d.Rate*x - lg)
 }
 
-// Quantile implements Dist by numeric inversion (Wilson–Hilferty
-// bracket + bisection/Newton); gamma has no closed-form quantile.
+// Quantile implements Dist. The gamma quantile has no closed form,
+// but the Wilson–Hilferty cube-root normal approximation (the
+// Cornish–Fisher-style normal-score transform of the family) lands
+// within a few percent of the answer, so a safeguarded Newton polish
+// reaches full precision in a handful of CDF/PDF evaluations — the
+// former ~200-step bisection is gone.
 func (d Gamma) Quantile(p float64) float64 {
 	if p <= 0 {
 		return 0
@@ -66,21 +70,76 @@ func (d Gamma) Quantile(p float64) float64 {
 	if p >= 1 {
 		return math.Inf(1)
 	}
-	// Wilson–Hilferty approximation centers the bracket.
-	z := specfn.NormQuantile(p)
-	k := d.Shape
-	wh := k * math.Pow(1-1/(9*k)+z/(3*math.Sqrt(k)), 3) / d.Rate
-	if !(wh > 0) {
-		wh = k / d.Rate
-	}
-	lo, hi := 0.0, wh
-	for d.CDF(hi) < p {
-		hi *= 2
-		if math.IsInf(hi, 1) {
-			return math.Inf(1)
+	return d.quantileNewton(p)
+}
+
+// QuantileBatch implements BatchQuantiler with the same Newton
+// inversion per point, making the quantile-domain order-statistic
+// quadrature of internal/orderstat run batched for gamma bases like
+// it already does for the exponential family and the lognormal.
+// Batched and pointwise evaluation are bit-identical.
+func (d Gamma) QuantileBatch(ps, dst []float64) {
+	for i, p := range ps {
+		switch {
+		case p <= 0:
+			dst[i] = 0
+		case p >= 1:
+			dst[i] = math.Inf(1)
+		default:
+			dst[i] = d.quantileNewton(p)
 		}
 	}
-	return quantileByInversion(d.CDF, d.PDF, p, lo, hi)
+}
+
+// quantileNewton inverts the CDF at p ∈ (0,1): Wilson–Hilferty first
+// guess, then Newton steps safeguarded by the bracket the CDF
+// evaluations themselves establish (a step leaving the bracket
+// becomes a bisection, so convergence is unconditional).
+func (d Gamma) quantileNewton(p float64) float64 {
+	k := d.Shape
+	// Wilson–Hilferty: (X/k)^⅓ ≈ Normal(1 − 1/(9k), 1/(9k)).
+	z := specfn.NormQuantile(p)
+	t := 1 - 1/(9*k) + z/(3*math.Sqrt(k))
+	x := k * t * t * t / d.Rate
+	if !(x > 0) {
+		// Small-shape / far-left tail: invert the power series
+		// F(x) ≈ (rate·x)^k / Γ(k+1) near the origin instead.
+		lg, _ := math.Lgamma(k + 1)
+		x = math.Exp((math.Log(p)+lg)/k) / d.Rate
+		if !(x > 0) {
+			x = k / d.Rate * 1e-8
+		}
+	}
+	lo, hi := 0.0, math.Inf(1)
+	for i := 0; i < 64; i++ {
+		f := d.CDF(x) - p
+		if f == 0 {
+			break
+		}
+		if f > 0 {
+			hi = x
+		} else {
+			lo = x
+		}
+		w := d.PDF(x)
+		next := math.NaN()
+		if w > 0 && !math.IsInf(w, 0) {
+			next = x - f/w
+		}
+		if !(next > lo && next < hi) {
+			if math.IsInf(hi, 1) {
+				next = x * 2 // expand until the root is bracketed above
+			} else {
+				next = 0.5 * (lo + hi)
+			}
+		}
+		if math.Abs(next-x) <= 4e-16*next {
+			x = next
+			break
+		}
+		x = next
+	}
+	return x
 }
 
 // Mean implements Dist: k/β.

@@ -26,6 +26,7 @@ func TestIDsCoverEveryTableAndFigure(t *testing.T) {
 	// Extension experiments ship alongside the paper's artifacts.
 	want["ttt"] = true
 	want["bootstrap"] = true
+	want["censored"] = true
 	got := map[string]bool{}
 	for _, id := range ids {
 		got[id] = true
@@ -42,8 +43,8 @@ func TestIDsCoverEveryTableAndFigure(t *testing.T) {
 	if ids[0] != "table1" || ids[5] != "fig1" {
 		t.Errorf("ordering wrong: %v", ids[:6])
 	}
-	if ids[len(ids)-2] != "bootstrap" || ids[len(ids)-1] != "ttt" {
-		t.Errorf("extensions not last: %v", ids[len(ids)-2:])
+	if ids[len(ids)-3] != "bootstrap" || ids[len(ids)-2] != "censored" || ids[len(ids)-1] != "ttt" {
+		t.Errorf("extensions not last: %v", ids[len(ids)-3:])
 	}
 }
 

@@ -475,4 +475,5 @@ var registry = map[string]generator{
 	// Extensions beyond the paper's artifact list (see extensions.go).
 	"ttt":       {"Time-to-target plots", ttt},
 	"bootstrap": {"Bootstrap CI on predictions", bootstrapCI},
+	"censored":  {"Censored-campaign fits (KM + censored MLE)", censoredFits},
 }

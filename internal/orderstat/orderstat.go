@@ -85,9 +85,18 @@ func (m Min) Quantile(p float64) float64 {
 	return m.Base.Quantile(u)
 }
 
+// minExpecter is implemented by sample-backed laws whose expected
+// minimum of n draws has an exact one-pass form over their sorted
+// backing array — dist.Empirical and survival.KaplanMeier. Matching
+// the capability rather than the concrete type keeps this package
+// from importing the estimator layers above it.
+type minExpecter interface {
+	MinExpectation(n int) float64
+}
+
 // Mean implements dist.Dist, preferring closed forms (exponential,
-// Weibull min-stability) and falling back to quantile-domain
-// quadrature.
+// Weibull min-stability, the exact pass of sample-backed laws) and
+// falling back to quantile-domain quadrature.
 func (m Min) Mean() float64 {
 	switch b := m.Base.(type) {
 	case dist.ShiftedExponential:
@@ -97,7 +106,7 @@ func (m Min) Mean() float64 {
 	case dist.Uniform:
 		// Textbook: E = Lo + (Hi-Lo)/(n+1).
 		return b.Lo + (b.Hi-b.Lo)/float64(m.N+1)
-	case *dist.Empirical:
+	case minExpecter:
 		return b.MinExpectation(m.N)
 	}
 	e, err := Moment(m.Base, m.N, 1)

@@ -18,14 +18,23 @@
 //	                     model (fitting it on first use)
 //	GET  /v1/healthz     liveness plus store occupancy
 //
+// Censored campaigns — the cheap, budgeted kind `lvseq -maxiter`
+// produces — are first-class: the daemon fits them with the
+// censored-campaign estimators (Kaplan–Meier plug-in law, censored
+// maximum likelihood over the supported families, candidates ranked
+// by censored log-likelihood), and the served model JSON records the
+// censoring fraction and estimator kind. Only campaigns whose runs
+// are all censored remain unfittable.
+//
 // The public package's typed errors map onto status codes —
 // ErrSchema and ErrEmptyCampaign 400, ErrUnknownProblem (and unknown
-// campaign ids) 404, ErrCensored and ErrMergeMismatch 409,
-// ErrNoAcceptableFit 422 — so clients can program against failure
-// modes without parsing messages. Campaign ids are content hashes of
-// the canonical campaign JSON and every response is rendered
-// deterministically, so a fixed-seed campaign produces byte-identical
-// fit and predict responses across daemon restarts.
+// campaign ids) 404, ErrMergeMismatch 409 (merge conflicts only),
+// ErrNoAcceptableFit and ErrCensored (all-censored campaigns) 422 —
+// so clients can program against failure modes without parsing
+// messages. Campaign ids are content hashes of the canonical campaign
+// JSON and every response is rendered deterministically, so a
+// fixed-seed campaign produces byte-identical fit and predict
+// responses across daemon restarts.
 package serve
 
 import (
@@ -48,7 +57,11 @@ import (
 // and collection, 8 MiB request bodies, 1024 cached campaigns.
 type Config struct {
 	// Families are the candidate distribution families /v1/fit ranks
-	// (default lasvegas.DefaultFamilies).
+	// (default lasvegas.DefaultFamilies for complete campaigns and
+	// lasvegas.CensoredFamilies for censored ones; setting Families
+	// explicitly pins both paths to this list, with members lacking a
+	// censored estimator reported as failed candidates on censored
+	// fits).
 	Families []lasvegas.Family
 	// Alpha is the KS significance level (default 0.05).
 	Alpha float64
@@ -78,7 +91,8 @@ func New(cfg Config) *Server {
 	if cfg.Alpha <= 0 {
 		cfg.Alpha = 0.05
 	}
-	if len(cfg.Families) == 0 {
+	explicitFamilies := len(cfg.Families) > 0
+	if !explicitFamilies {
 		cfg.Families = lasvegas.DefaultFamilies()
 	}
 	if cfg.MaxBodyBytes <= 0 {
@@ -94,10 +108,19 @@ func New(cfg Config) *Server {
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
-	pred := lasvegas.New(
-		lasvegas.WithFamilies(cfg.Families...),
+	// WithCensoredFit: budgeted campaigns are the cheapest to collect,
+	// so the daemon fits them with the survival estimators instead of
+	// bouncing them with a 409 (which now remains for merge mismatches
+	// only). WithFamilies is passed only for an explicit Config choice
+	// so the censored path keeps its own default candidate set.
+	opts := []lasvegas.Option{
 		lasvegas.WithAlpha(cfg.Alpha),
-	)
+		lasvegas.WithCensoredFit(true),
+	}
+	if explicitFamilies {
+		opts = append(opts, lasvegas.WithFamilies(cfg.Families...))
+	}
+	pred := lasvegas.New(opts...)
 	return &Server{cfg: cfg, store: newStore(pred, workers, cfg.MaxCampaigns)}
 }
 
@@ -428,9 +451,12 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, lasvegas.ErrUnknownProblem), errors.Is(err, errUnknownCampaign):
 		return http.StatusNotFound // 404
-	case errors.Is(err, lasvegas.ErrCensored), errors.Is(err, lasvegas.ErrMergeMismatch):
+	case errors.Is(err, lasvegas.ErrMergeMismatch):
 		return http.StatusConflict // 409
-	case errors.Is(err, lasvegas.ErrNoAcceptableFit):
+	case errors.Is(err, lasvegas.ErrNoAcceptableFit), errors.Is(err, lasvegas.ErrCensored):
+		// ErrCensored survives only for all-censored campaigns (the
+		// fit path absorbs partial censoring): like a fit every family
+		// rejects, the upload is well-formed but unusable — 422.
 		return http.StatusUnprocessableEntity // 422
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return 499 // client closed request (nginx convention)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -277,11 +278,17 @@ func TestErrorMapping(t *testing.T) {
 		}
 		return cr.ID
 	}
-	censored, err := os.ReadFile(filepath.Join("..", "..", "testdata", "campaign_v2.json"))
+	allCensored, err := json.Marshal(&lasvegas.Campaign{
+		Problem:    "sat-3-120",
+		Runs:       3,
+		Iterations: []float64{5000, 5000, 5000},
+		Censored:   []int{0, 1, 2},
+		Budget:     5000,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	censoredID := uploadID(censored)
+	allCensoredID := uploadID(allCensored)
 	uniformID := uploadID(uniformJSON)
 
 	mismatched, err := json.Marshal([]*lasvegas.Campaign{
@@ -315,9 +322,9 @@ func TestErrorMapping(t *testing.T) {
 		{"fit unknown id 404", func() (int, []byte) {
 			return post(t, ts, "/v1/fit", []byte(`{"id":"c0000000000000000"}`))
 		}, http.StatusNotFound},
-		{"fit censored 409", func() (int, []byte) {
-			return post(t, ts, "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, censoredID)))
-		}, http.StatusConflict},
+		{"fit all-censored 422", func() (int, []byte) {
+			return post(t, ts, "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, allCensoredID)))
+		}, http.StatusUnprocessableEntity},
 		{"fit rejected families 422", func() (int, []byte) {
 			return post(t, ts, "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, uniformID)))
 		}, http.StatusUnprocessableEntity},
@@ -429,5 +436,74 @@ func TestCollectRunsCap(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "cap") {
 		t.Errorf("error body %s does not mention the cap", body)
+	}
+}
+
+// TestCensoredFitAndPredict: a partially censored upload — the cheap,
+// budgeted kind of campaign — fits with 200 via the survival
+// estimators instead of bouncing with 409, and the served model
+// discloses the censoring fraction and estimator kind.
+func TestCensoredFitAndPredict(t *testing.T) {
+	ts := newTestServer(t)
+	censored, err := os.ReadFile(filepath.Join("..", "..", "testdata", "campaign_v2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body := post(t, ts, "/v1/campaigns", censored)
+	if status != http.StatusOK {
+		t.Fatalf("upload: status %d, body %s", status, body)
+	}
+	var cr campaignResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Censored != 2 || cr.Budget != 5000 {
+		t.Fatalf("upload response lost censoring info: %+v", cr)
+	}
+
+	status, body = post(t, ts, "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, cr.ID)))
+	if status != http.StatusOK {
+		t.Fatalf("fit: status %d, body %s", status, body)
+	}
+	var fr struct {
+		Best struct {
+			Family           string  `json:"family"`
+			Estimator        string  `json:"estimator"`
+			CensoredFraction float64 `json:"censored_fraction"`
+		} `json:"best"`
+		Candidates []candidateResponse `json:"candidates"`
+	}
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Best.Estimator != lasvegas.EstimatorCensoredMLE {
+		t.Errorf("best.estimator = %q, want %q", fr.Best.Estimator, lasvegas.EstimatorCensoredMLE)
+	}
+	if want := 2.0 / 6; fr.Best.CensoredFraction != want {
+		t.Errorf("best.censored_fraction = %v, want %v", fr.Best.CensoredFraction, want)
+	}
+	if len(fr.Candidates) == 0 {
+		t.Fatal("fit returned no candidates")
+	}
+
+	status, body = get(t, ts, "/v1/predict?id="+cr.ID+"&cores=4,16")
+	if status != http.StatusOK {
+		t.Fatalf("predict: status %d, body %s", status, body)
+	}
+	var pr struct {
+		Speedups []speedupResponse `json:"speedups"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Speedups) != 2 {
+		t.Fatalf("predict returned %d speedups, want 2", len(pr.Speedups))
+	}
+	// No speedup ≤ cores bound here: a heavy-tailed (lognormal)
+	// censored fit legitimately predicts superlinear speed-ups.
+	for _, s := range pr.Speedups {
+		if !(s.Speedup > 1) || !(s.MinExpectation > 0) || math.IsInf(s.Speedup, 0) {
+			t.Errorf("implausible censored-fit prediction: %+v", s)
+		}
 	}
 }

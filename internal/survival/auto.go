@@ -1,0 +1,133 @@
+package survival
+
+import (
+	"fmt"
+	"sort"
+
+	"lasvegas/internal/dist"
+	"lasvegas/internal/ks"
+)
+
+// Family identifies a candidate family for censored fitting. The set
+// is the paper's accepted trio plus the min-stable Weibull; the other
+// complete-sample families (normal, gamma, Lévy) have no censored
+// estimator here and are rejected per-family by Auto.
+type Family string
+
+// Candidate families with censored maximum-likelihood estimators.
+const (
+	FamExponential        Family = "exponential"
+	FamShiftedExponential Family = "shifted-exponential"
+	FamWeibull            Family = "weibull"
+	FamLogNormal          Family = "lognormal"
+)
+
+// Families returns every family with a censored estimator, in
+// default preference order.
+func Families() []Family {
+	return []Family{FamExponential, FamShiftedExponential, FamLogNormal, FamWeibull}
+}
+
+// Result is one fitted candidate of the censored model-selection
+// table.
+type Result struct {
+	Family Family
+	Dist   dist.Dist
+	// LogLik is the censored log-likelihood — the ranking criterion.
+	LogLik float64
+	// KS and AD are goodness-of-fit verdicts on the uncensored region
+	// (see RestrictedKS); ADValid reports whether AD could be computed.
+	KS      ks.Result
+	AD      ks.Result
+	ADValid bool
+	// Err is non-nil when the family could not be fitted.
+	Err error
+}
+
+// Auto fits every requested family (Families() when none are given)
+// by censored maximum likelihood and returns the results ranked by
+// descending censored log-likelihood, failed fits last. Each
+// successful fit carries KS and AD verdicts restricted to the
+// uncensored region below the cutoff (see Cutoff for its
+// derivation from the budget). Samples with no events fail with
+// ErrAllCensored.
+func Auto(values []float64, censored []bool, budget float64, families ...Family) ([]Result, error) {
+	if _, err := validate(values, censored); err != nil {
+		return nil, err
+	}
+	if len(families) == 0 {
+		families = Families()
+	}
+	cutoff := Cutoff(values, censored, budget)
+	results := make([]Result, 0, len(families))
+	for _, fam := range families {
+		r := Result{Family: fam}
+		var d dist.Dist
+		var err error
+		switch fam {
+		case FamExponential:
+			d, err = wrap(Exponential(values, censored))
+		case FamShiftedExponential:
+			d, err = wrap(ShiftedExponential(values, censored))
+		case FamWeibull:
+			d, err = wrap(Weibull(values, censored))
+		case FamLogNormal:
+			d, err = wrap(LogNormal(values, censored))
+		default:
+			err = fmt.Errorf("survival: family %q has no censored estimator", fam)
+		}
+		if err != nil {
+			r.Err = err
+			results = append(results, r)
+			continue
+		}
+		r.Dist = d
+		r.LogLik = LogLikelihood(d, values, censored)
+		ksRes, err := RestrictedKS(d, values, censored, cutoff)
+		if err != nil {
+			r.Err = err
+			results = append(results, r)
+			continue
+		}
+		r.KS = ksRes
+		if ad, err := RestrictedAD(d, values, censored, cutoff); err == nil {
+			r.AD = ad
+			r.ADValid = true
+		}
+		results = append(results, r)
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		switch {
+		case results[i].Err == nil && results[j].Err != nil:
+			return true
+		case results[i].Err != nil:
+			return false
+		}
+		return results[i].LogLik > results[j].LogLik
+	})
+	return results, nil
+}
+
+// Best returns the highest-log-likelihood fit from Auto whose
+// restricted-KS verdict is not rejected at alpha, or an error when
+// every family fails or is rejected.
+func Best(values []float64, censored []bool, budget, alpha float64, families ...Family) (Result, error) {
+	results, err := Auto(values, censored, budget, families...)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, r := range results {
+		if r.Err == nil && !r.KS.RejectAt(alpha) {
+			return r, nil
+		}
+	}
+	return Result{}, fmt.Errorf("survival: no candidate family passes the restricted KS test at α=%v", alpha)
+}
+
+// wrap adapts a concrete (D, error) pair to (dist.Dist, error).
+func wrap[D dist.Dist](d D, err error) (dist.Dist, error) {
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,324 @@
+package survival
+
+import (
+	"fmt"
+	"math"
+
+	"lasvegas/internal/dist"
+	"lasvegas/internal/optim"
+)
+
+// The censored likelihood of a right-censored sample is
+//
+//	L(θ) = Π_events f(xᵢ; θ) · Π_censored S(cⱼ; θ),
+//
+// each event contributing its density and each censored run only its
+// survival beyond the budget. The fitters below maximize it for the
+// families the prediction pipeline accepts: closed forms for the
+// exponential variants, damped Newton on the (profile)
+// log-likelihood for Weibull and lognormal.
+
+// Exponential fits the unshifted exponential by censored maximum
+// likelihood. The MLE is closed-form: λ̂ = d / Σ xᵢ with d the event
+// count and the sum over *all* observations (censored runs contribute
+// their full budget of exposure). With no censoring this reduces to
+// the complete-sample λ̂ = 1/mean.
+func Exponential(values []float64, censored []bool) (dist.ShiftedExponential, error) {
+	d, total, err := exposure(values, censored, 0)
+	if err != nil {
+		return dist.ShiftedExponential{}, err
+	}
+	if !(total > 0) {
+		return dist.ShiftedExponential{}, fmt.Errorf("%w: zero total exposure", ErrSample)
+	}
+	return dist.NewExponential(float64(d) / total)
+}
+
+// ShiftedExponential fits the paper's §6.1 family under censoring:
+// the shift estimate stays the observed minimum (the smallest
+// observation is an event for budget-censored campaigns, since
+// censored runs sit at the budget), and the rate MLE given that shift
+// is λ̂ = d / Σ (xᵢ − x0). With no censoring this reduces exactly to
+// the complete-sample estimators x0 = min, λ = 1/(mean − x0).
+func ShiftedExponential(values []float64, censored []bool) (dist.ShiftedExponential, error) {
+	if len(values) < 2 {
+		return dist.ShiftedExponential{}, fmt.Errorf("%w: need ≥2 observations", ErrSample)
+	}
+	x0 := math.Inf(1)
+	for _, x := range values {
+		if x < x0 {
+			x0 = x
+		}
+	}
+	d, total, err := exposure(values, censored, x0)
+	if err != nil {
+		return dist.ShiftedExponential{}, err
+	}
+	if !(total > 0) {
+		return dist.ShiftedExponential{}, fmt.Errorf("%w: zero spread above the shift", ErrSample)
+	}
+	return dist.NewShiftedExponential(x0, float64(d)/total)
+}
+
+// exposure validates the sample and returns the event count and the
+// total exposure Σ (xᵢ − shift) over all observations.
+func exposure(values []float64, censored []bool, shift float64) (int, float64, error) {
+	if _, err := validate(values, censored); err != nil {
+		return 0, 0, err
+	}
+	d, total := 0, 0.0
+	for i, x := range values {
+		if !censored[i] {
+			d++
+		}
+		total += x - shift
+	}
+	return d, total, nil
+}
+
+// Weibull fits the two-parameter Weibull by censored maximum
+// likelihood. The scale profiles out in closed form
+// (scale^k = Σ xᵢ^k / d), leaving the one-dimensional shape equation
+//
+//	g(k) = 1/k + (1/d)·Σ_events ln xᵢ − Σ xᵢ^k ln xᵢ / Σ xᵢ^k = 0
+//
+// (sums without a subscript over all observations). g is strictly
+// decreasing — g'(k) = −1/k² − Var_w(ln x) with weights xᵢ^k — so a
+// damped Newton iteration converges from any positive start.
+func Weibull(values []float64, censored []bool) (dist.Weibull, error) {
+	if _, err := validate(values, censored); err != nil {
+		return dist.Weibull{}, err
+	}
+	if len(values) < 2 {
+		return dist.Weibull{}, fmt.Errorf("%w: need ≥2 observations", ErrSample)
+	}
+	// Normalize by the largest observation: the shape equation is
+	// scale-invariant, and y = x/max keeps y^k from overflowing for
+	// iteration counts in the millions.
+	xmax := 0.0
+	for _, x := range values {
+		if x > xmax {
+			xmax = x
+		}
+	}
+	d := 0
+	var meanLogE float64
+	ys := make([]float64, len(values))
+	for i, x := range values {
+		if !(x > 0) {
+			return dist.Weibull{}, fmt.Errorf("%w: non-positive observation %v", ErrSample, x)
+		}
+		ys[i] = x / xmax
+		if !censored[i] {
+			d++
+			meanLogE += math.Log(ys[i])
+		}
+	}
+	meanLogE /= float64(d)
+	// g and its derivative, both in normalized space.
+	gdg := func(k float64) (g, dg float64) {
+		var sk, skl, skl2 float64
+		for _, y := range ys {
+			yk := math.Pow(y, k)
+			ly := math.Log(y)
+			sk += yk
+			skl += yk * ly
+			skl2 += yk * ly * ly
+		}
+		wMean := skl / sk
+		g = 1/k + meanLogE - wMean
+		dg = -1/(k*k) - (skl2/sk - wMean*wMean)
+		return g, dg
+	}
+	k := 1.0
+	converged := false
+	for i := 0; i < 100; i++ {
+		g, dg := gdg(k)
+		if math.IsNaN(g) || dg >= 0 {
+			return dist.Weibull{}, fmt.Errorf("%w: degenerate weibull likelihood", ErrSample)
+		}
+		step := g / dg
+		next := k - step
+		if next <= 0 {
+			next = k / 2 // damp: stay in the positive half-line
+		}
+		if math.Abs(next-k) <= 1e-13*k {
+			k = next
+			converged = true
+			break
+		}
+		k = next
+		if k > 1e8 {
+			return dist.Weibull{}, fmt.Errorf("%w: weibull shape diverged (zero spread?)", ErrSample)
+		}
+	}
+	if !converged {
+		return dist.Weibull{}, fmt.Errorf("%w: weibull shape iteration did not converge", ErrSample)
+	}
+	var sk float64
+	for _, y := range ys {
+		sk += math.Pow(y, k)
+	}
+	scale := xmax * math.Pow(sk/float64(d), 1/k)
+	return dist.NewWeibull(k, scale)
+}
+
+// LogNormal fits the (unshifted) lognormal by censored maximum
+// likelihood: damped Newton on ℓ(μ, σ) with the analytic gradient
+//
+//	∂ℓ/∂μ = (1/σ)·[Σ_e zᵢ + Σ_c h(zⱼ)]
+//	∂ℓ/∂σ = (1/σ)·[Σ_e (zᵢ² − 1) + Σ_c zⱼ·h(zⱼ)]
+//
+// where z = (ln x − μ)/σ and h = φ/(1−Φ) is the standard normal
+// hazard, and a finite-difference Hessian. Steps are halved until the
+// log-likelihood improves (and σ stays positive); if Newton stalls,
+// a Nelder–Mead polish from the same start finishes the job.
+func LogNormal(values []float64, censored []bool) (dist.LogNormal, error) {
+	if _, err := validate(values, censored); err != nil {
+		return dist.LogNormal{}, err
+	}
+	if len(values) < 3 {
+		return dist.LogNormal{}, fmt.Errorf("%w: need ≥3 observations", ErrSample)
+	}
+	logsE := make([]float64, 0, len(values))
+	logsC := make([]float64, 0)
+	for i, x := range values {
+		if !(x > 0) {
+			return dist.LogNormal{}, fmt.Errorf("%w: non-positive observation %v", ErrSample, x)
+		}
+		if censored[i] {
+			logsC = append(logsC, math.Log(x))
+		} else {
+			logsE = append(logsE, math.Log(x))
+		}
+	}
+	// Start from the complete-sample MLE with censored values treated
+	// as events — biased low, but inside the basin of attraction.
+	var mu0, s2 float64
+	n := float64(len(values))
+	for _, l := range logsE {
+		mu0 += l
+	}
+	for _, l := range logsC {
+		mu0 += l
+	}
+	mu0 /= n
+	for _, l := range logsE {
+		s2 += (l - mu0) * (l - mu0)
+	}
+	for _, l := range logsC {
+		s2 += (l - mu0) * (l - mu0)
+	}
+	s2 /= n
+	if !(s2 > 0) {
+		return dist.LogNormal{}, fmt.Errorf("%w: zero log-spread", ErrSample)
+	}
+	sigma0 := math.Sqrt(s2)
+
+	ll := func(mu, sigma float64) float64 {
+		if !(sigma > 0) {
+			return math.Inf(-1)
+		}
+		var sum float64
+		for _, l := range logsE {
+			z := (l - mu) / sigma
+			sum += -math.Log(sigma) - 0.5*z*z
+		}
+		for _, l := range logsC {
+			sum += logNormSurvival((l - mu) / sigma)
+		}
+		return sum
+	}
+	grad := func(mu, sigma float64) (gm, gs float64) {
+		for _, l := range logsE {
+			z := (l - mu) / sigma
+			gm += z
+			gs += z*z - 1
+		}
+		for _, l := range logsC {
+			z := (l - mu) / sigma
+			h := normHazard(z)
+			gm += h
+			gs += z * h
+		}
+		return gm / sigma, gs / sigma
+	}
+
+	mu, sigma := mu0, sigma0
+	cur := ll(mu, sigma)
+	converged := false
+	for i := 0; i < 200; i++ {
+		gm, gs := grad(mu, sigma)
+		// Finite-difference Hessian from the analytic gradient.
+		hm := 1e-6 * (1 + math.Abs(mu))
+		hs := 1e-6 * sigma
+		gmM, gsM := grad(mu+hm, sigma)
+		gmS, gsS := grad(mu, sigma+hs)
+		a := (gmM - gm) / hm // ∂²ℓ/∂μ²
+		b := (gmS - gm) / hs // ∂²ℓ/∂μ∂σ
+		c := (gsM - gs) / hm
+		d := (gsS - gs) / hs // ∂²ℓ/∂σ²
+		b = 0.5 * (b + c)    // symmetrize
+		det := a*d - b*b
+		var dm, ds float64
+		if det > 0 && a < 0 {
+			// Newton step −H⁻¹·g for a negative-definite Hessian.
+			dm = -(d*gm - b*gs) / det
+			ds = -(-b*gm + a*gs) / det
+		} else {
+			// Ascent fallback when the Hessian is not usable.
+			scale := sigma / (1 + math.Hypot(gm, gs))
+			dm, ds = gm*scale, gs*scale
+		}
+		improved := false
+		for t := 0; t < 40; t++ {
+			nm, ns := mu+dm, sigma+ds
+			if ns > 0 {
+				if next := ll(nm, ns); next > cur {
+					mu, sigma, cur = nm, ns, next
+					improved = true
+					break
+				}
+			}
+			dm /= 2
+			ds /= 2
+		}
+		if !improved || math.Hypot(dm, ds) <= 1e-12*(1+math.Abs(mu)+sigma) {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		// Derivative-free polish from the same start; deterministic.
+		x, _, err := optim.NelderMead(func(v []float64) float64 {
+			return -ll(v[0], math.Exp(v[1]))
+		}, []float64{mu, math.Log(sigma)}, []float64{0.1, 0.1}, 1e-12, 2000)
+		if err != nil {
+			return dist.LogNormal{}, fmt.Errorf("survival: lognormal MLE: %w", err)
+		}
+		mu, sigma = x[0], math.Exp(x[1])
+	}
+	return dist.NewLogNormal(0, mu, sigma)
+}
+
+// normHazard returns the standard normal hazard φ(z)/(1−Φ(z)),
+// switching to the Mills-ratio asymptotic series for large z where
+// the direct quotient underflows.
+func normHazard(z float64) float64 {
+	if z > 10 {
+		z2 := z * z
+		// 1/h = R(z) = (1/z)(1 − 1/z² + 3/z⁴ − 15/z⁶), |err| < 1e-10.
+		return z / (1 - 1/z2 + 3/(z2*z2) - 15/(z2*z2*z2))
+	}
+	q := 0.5 * math.Erfc(z/math.Sqrt2)
+	return math.Exp(-0.5*z*z) / (math.Sqrt(2*math.Pi) * q)
+}
+
+// logNormSurvival returns ln(1 − Φ(z)) stably for any z.
+func logNormSurvival(z float64) float64 {
+	if z > 10 {
+		// ln Q = ln φ − ln h for the same asymptotic regime.
+		return -0.5*z*z - 0.5*math.Log(2*math.Pi) - math.Log(normHazard(z))
+	}
+	return math.Log(0.5 * math.Erfc(z/math.Sqrt2))
+}

@@ -2,6 +2,7 @@ package lasvegas
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"lasvegas/internal/core"
@@ -9,6 +10,7 @@ import (
 	"lasvegas/internal/fit"
 	"lasvegas/internal/ks"
 	"lasvegas/internal/restart"
+	"lasvegas/internal/survival"
 )
 
 // Family identifies a candidate runtime-distribution family.
@@ -26,12 +28,35 @@ const (
 	// Empirical is the nonparametric plug-in, produced by PlugIn
 	// rather than fitted by Fit.
 	Empirical Family = "empirical"
+	// KaplanMeier is the nonparametric product-limit plug-in for
+	// censored campaigns, produced by PlugIn under WithCensoredFit.
+	KaplanMeier Family = "kaplan-meier"
+)
+
+// Estimator kinds recorded on a Model (see Model.Estimator).
+const (
+	// EstimatorComplete marks the paper's §6 complete-sample
+	// estimators — the default for uncensored campaigns.
+	EstimatorComplete = ""
+	// EstimatorCensoredMLE marks a censored maximum-likelihood fit
+	// (WithCensoredFit on a budgeted campaign).
+	EstimatorCensoredMLE = "censored-mle"
+	// EstimatorKaplanMeier marks the product-limit plug-in law.
+	EstimatorKaplanMeier = "kaplan-meier"
 )
 
 // DefaultFamilies returns the candidate set the paper accepts fits
 // from: the two exponential variants and the lognormal.
 func DefaultFamilies() []Family {
 	return []Family{Exponential, ShiftedExponential, LogNormal}
+}
+
+// CensoredFamilies returns the families with censored
+// maximum-likelihood estimators — the candidate set the
+// WithCensoredFit path considers: the paper's accepted trio plus the
+// min-stable Weibull.
+func CensoredFamilies() []Family {
+	return []Family{Exponential, ShiftedExponential, LogNormal, Weibull}
 }
 
 // AllFamilies returns every parametric family the fitter knows,
@@ -59,12 +84,14 @@ func (g GoodnessOfFit) RejectedAt(alpha float64) bool { return g.PValue < alpha 
 // the paper's speed-up predictor on top of it: G(n) = E[Y]/E[Z(n)]
 // with Z(n) the minimum of n i.i.d. copies of Y.
 type Model struct {
-	family Family
-	law    dist.Dist
-	gof    GoodnessOfFit
-	tested bool
-	alpha  float64
-	pred   *core.Predictor
+	family    Family
+	law       dist.Dist
+	gof       GoodnessOfFit
+	tested    bool
+	alpha     float64
+	pred      *core.Predictor
+	censFrac  float64
+	estimator string
 }
 
 func newModel(family Family, law dist.Dist, alpha float64) (*Model, error) {
@@ -77,6 +104,17 @@ func newModel(family Family, law dist.Dist, alpha float64) (*Model, error) {
 
 // Family returns the distribution family of the fitted law.
 func (m *Model) Family() Family { return m.family }
+
+// CensoredFraction returns the fraction of campaign runs that were
+// censored when this model was estimated (0 for complete campaigns).
+func (m *Model) CensoredFraction() float64 { return m.censFrac }
+
+// Estimator returns the estimator kind that produced the model:
+// EstimatorComplete (the §6 complete-sample estimators),
+// EstimatorCensoredMLE, or EstimatorKaplanMeier. Recorded — together
+// with CensoredFraction — in the model's deterministic JSON so served
+// predictions disclose what they were fitted from.
+func (m *Model) Estimator() string { return m.estimator }
 
 // String renders the fitted law with its parameters.
 func (m *Model) String() string { return m.law.String() }
@@ -192,6 +230,12 @@ type Candidate struct {
 	// reports whether it could be computed.
 	AD      GoodnessOfFit
 	ADValid bool
+	// LogLik is the censored log-likelihood of the fit — the ranking
+	// criterion of the WithCensoredFit path, where KS p-values only
+	// see the uncensored region. LogLikValid reports whether it was
+	// computed (censored fits only).
+	LogLik      float64
+	LogLikValid bool
 	// Err is non-nil when the family could not be fitted.
 	Err error
 }
@@ -237,13 +281,100 @@ func toGoF(r ks.Result) GoodnessOfFit {
 // FitAll fits every configured candidate family to the campaign and
 // returns the candidates ranked by descending KS p-value (failed fits
 // last) — the paper's §6 model-selection table. Censored campaigns
-// are rejected with ErrCensored.
+// are rejected with ErrCensored unless WithCensoredFit is enabled, in
+// which case the censored maximum-likelihood estimators run instead
+// and candidates are ranked by censored log-likelihood with KS and AD
+// verdicts restricted to the uncensored region.
 func (p *Predictor) FitAll(c *Campaign) ([]Candidate, error) {
+	if c != nil && c.IsCensored() && p.cfg.censoredFit {
+		return p.fitCensoredAll(c)
+	}
 	sample, err := fitInput(c)
 	if err != nil {
 		return nil, err
 	}
 	return p.fitSample(sample)
+}
+
+// fitCensoredAll is FitAll's censored branch: the internal/survival
+// estimators over the configured families, ranked by censored
+// log-likelihood. Families without a censored estimator fail
+// per-candidate rather than poisoning the table.
+func (p *Predictor) fitCensoredAll(c *Campaign) ([]Candidate, error) {
+	if len(c.Iterations) == 0 {
+		return nil, ErrEmptyCampaign
+	}
+	values, flags := c.Observations()
+	frac := c.CensoredFraction()
+	// An explicit WithFamilies choice is honoured (censored-incapable
+	// members become failed candidates); the default candidate set is
+	// CensoredFamilies, not DefaultFamilies — the min-stable Weibull
+	// has a censored estimator and belongs in the race.
+	families := p.cfg.families
+	if !p.cfg.famSet {
+		families = CensoredFamilies()
+	}
+	supported := make([]survival.Family, 0, len(families))
+	var unsupported []Candidate
+	for _, f := range families {
+		if sf, ok := survivalFamily(f); ok {
+			supported = append(supported, sf)
+		} else {
+			unsupported = append(unsupported, Candidate{
+				Family: f,
+				Err: fmt.Errorf("lasvegas: family %q has no censored estimator (censored candidates: %v)",
+					f, CensoredFamilies()),
+			})
+		}
+	}
+	if len(supported) == 0 {
+		return unsupported, nil
+	}
+	results, err := survival.Auto(values, flags, float64(c.Budget), supported...)
+	if err != nil {
+		if errors.Is(err, survival.ErrAllCensored) {
+			return nil, fmt.Errorf("%w: all %d runs hit the %d-iteration budget — no uncensored observation to anchor a fit",
+				ErrCensored, len(c.Iterations), c.Budget)
+		}
+		return nil, fmt.Errorf("lasvegas: %w", err)
+	}
+	cands := make([]Candidate, 0, len(results)+len(unsupported))
+	for _, r := range results {
+		cand := Candidate{Family: Family(r.Family), Err: r.Err}
+		if r.Err == nil {
+			cand.Law = r.Dist.String()
+			cand.LogLik, cand.LogLikValid = r.LogLik, true
+			if m, err := newModel(Family(r.Family), r.Dist, p.cfg.alpha); err == nil {
+				m.gof = toGoF(r.KS)
+				m.tested = true
+				m.censFrac = frac
+				m.estimator = EstimatorCensoredMLE
+				cand.Model = m
+			}
+			cand.KS = toGoF(r.KS)
+			if r.ADValid {
+				cand.AD = toGoF(r.AD)
+				cand.ADValid = true
+			}
+		}
+		cands = append(cands, cand)
+	}
+	return append(cands, unsupported...), nil
+}
+
+// survivalFamily maps a public family onto its censored estimator.
+func survivalFamily(f Family) (survival.Family, bool) {
+	switch f {
+	case Exponential:
+		return survival.FamExponential, true
+	case ShiftedExponential:
+		return survival.FamShiftedExponential, true
+	case LogNormal:
+		return survival.FamLogNormal, true
+	case Weibull:
+		return survival.FamWeibull, true
+	}
+	return "", false
 }
 
 // Fit returns the best accepted model: the highest-KS-p-value family
@@ -264,8 +395,29 @@ func (p *Predictor) Fit(c *Campaign) (*Model, error) {
 
 // PlugIn returns the nonparametric plug-in model: the empirical
 // distribution of the campaign itself, with no family assumption —
-// the paper's model-free baseline predictor.
+// the paper's model-free baseline predictor. Under WithCensoredFit a
+// censored campaign yields the Kaplan–Meier product-limit law
+// instead, whose step CDF, quantile and exact MinExpectation reduce
+// to the empirical ones when nothing is censored.
 func (p *Predictor) PlugIn(c *Campaign) (*Model, error) {
+	if c != nil && c.IsCensored() && p.cfg.censoredFit {
+		values, flags := c.Observations()
+		km, err := survival.NewKaplanMeier(values, flags)
+		if err != nil {
+			if errors.Is(err, survival.ErrAllCensored) {
+				return nil, fmt.Errorf("%w: all %d runs hit the %d-iteration budget — no uncensored observation to anchor a fit",
+					ErrCensored, len(c.Iterations), c.Budget)
+			}
+			return nil, fmt.Errorf("lasvegas: %w", err)
+		}
+		m, err := newModel(KaplanMeier, km, p.cfg.alpha)
+		if err != nil {
+			return nil, err
+		}
+		m.censFrac = c.CensoredFraction()
+		m.estimator = EstimatorKaplanMeier
+		return m, nil
+	}
 	sample, err := fitInput(c)
 	if err != nil {
 		return nil, err
@@ -277,14 +429,14 @@ func (p *Predictor) PlugIn(c *Campaign) (*Model, error) {
 	return newModel(Empirical, e, p.cfg.alpha)
 }
 
-// fitInput validates a campaign for estimation: non-empty and
-// uncensored.
+// fitInput validates a campaign for estimation paths that require a
+// complete sample: non-empty and uncensored.
 func fitInput(c *Campaign) ([]float64, error) {
 	if c == nil || len(c.Iterations) == 0 {
 		return nil, ErrEmptyCampaign
 	}
 	if c.IsCensored() {
-		return nil, fmt.Errorf("%w: %d of %d runs hit the %d-iteration budget",
+		return nil, fmt.Errorf("%w: %d of %d runs hit the %d-iteration budget (Fit, FitAll and PlugIn accept censored campaigns under WithCensoredFit)",
 			ErrCensored, len(c.Censored), len(c.Iterations), c.Budget)
 	}
 	return c.Iterations, nil

@@ -17,7 +17,14 @@ type modelJSON struct {
 	Tangent       float64  `json:"tangent_at_origin"`
 	Limit         *float64 `json:"limit,omitempty"`
 	LimitInfinite bool     `json:"limit_infinite,omitempty"`
-	KS            *ksJSON  `json:"ks,omitempty"`
+	// CensoredFraction and Estimator disclose censored-campaign fits
+	// (WithCensoredFit): what fraction of the runs only bounded the
+	// runtime, and which estimator absorbed them. Both are omitted
+	// for complete-sample fits, keeping pre-censoring payloads
+	// byte-identical.
+	CensoredFraction float64 `json:"censored_fraction,omitempty"`
+	Estimator        string  `json:"estimator,omitempty"`
+	KS               *ksJSON `json:"ks,omitempty"`
 }
 
 // ksJSON is the wire form of a goodness-of-fit verdict.
@@ -37,11 +44,13 @@ type ksJSON struct {
 // are byte-stable.
 func (m *Model) MarshalJSON() ([]byte, error) {
 	j := modelJSON{
-		Family:  m.family,
-		Law:     m.law.String(),
-		Mean:    m.Mean(),
-		Linear:  m.Linear(),
-		Tangent: m.TangentAtOrigin(),
+		Family:           m.family,
+		Law:              m.law.String(),
+		Mean:             m.Mean(),
+		Linear:           m.Linear(),
+		Tangent:          m.TangentAtOrigin(),
+		CensoredFraction: m.censFrac,
+		Estimator:        m.estimator,
 	}
 	if lim := m.Limit(); math.IsInf(lim, 1) {
 		j.LimitInfinite = true

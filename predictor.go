@@ -15,17 +15,19 @@ type Predictor struct {
 }
 
 type config struct {
-	families   []Family
-	alpha      float64
-	runs       int
-	seed       uint64
-	workers    int
-	budget     int64
-	simReps    int
-	resamples  int
-	level      float64
-	shardIndex int
-	shardTotal int
+	families    []Family
+	alpha       float64
+	runs        int
+	seed        uint64
+	workers     int
+	budget      int64
+	simReps     int
+	resamples   int
+	level       float64
+	shardIndex  int
+	shardTotal  int
+	censoredFit bool
+	famSet      bool // families explicitly chosen via WithFamilies
 }
 
 // Option configures a Predictor.
@@ -35,7 +37,10 @@ type Option func(*config)
 // FitAll consider, in preference order for ties. Default:
 // DefaultFamilies (the paper's accepted trio).
 func WithFamilies(fams ...Family) Option {
-	return func(c *config) { c.families = append([]Family(nil), fams...) }
+	return func(c *config) {
+		c.families = append([]Family(nil), fams...)
+		c.famSet = len(fams) > 0
+	}
 }
 
 // WithAlpha sets the KS significance level used to accept or reject a
@@ -80,6 +85,24 @@ func WithBudget(maxIterations int64) Option {
 // index outside [0, total).
 func WithShard(index, total int) Option {
 	return func(c *config) { c.shardIndex, c.shardTotal = index, total }
+}
+
+// WithCensoredFit routes censored campaigns — the cheap, budgeted
+// kind WithBudget and `lvseq -maxiter` produce — through the
+// internal/survival estimators instead of rejecting them with
+// ErrCensored: Fit and FitAll switch to censored maximum likelihood
+// (ranked by censored log-likelihood, with KS and Anderson–Darling
+// verdicts restricted to the uncensored region) over CensoredFamilies
+// — or, when WithFamilies was used, over the censored-capable subset
+// of that explicit choice, with the rest reported as failed
+// candidates — and PlugIn returns the Kaplan–Meier product-limit law
+// (bit-identical to the empirical plug-in on censoring-free
+// campaigns). Campaigns
+// whose runs are *all* censored still fail with ErrCensored — there
+// is no uncensored observation to anchor any estimate. Default off,
+// preserving the strict complete-sample behaviour.
+func WithCensoredFit(enabled bool) Option {
+	return func(c *config) { c.censoredFit = enabled }
 }
 
 // WithSimReps sets the repetitions per core count used by

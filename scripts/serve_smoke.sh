@@ -16,6 +16,7 @@ port="${1:-18080}"
 cd "$(dirname "$0")/.."
 
 fixture=testdata/campaign_costas13.json
+censored_fixture=testdata/campaign_costas13_censored.json
 base="http://127.0.0.1:$port"
 tmp="$(mktemp -d)"
 pid=""
@@ -90,6 +91,34 @@ pipeline() {
         and .cores_for_speedup.cores >= 8
     ' "$tmp/predict.$pass" >/dev/null
 
+    echo "== ($pass) censored upload (budgeted campaign, 25% censored)"
+    curl -fsS -d @"$censored_fixture" "$base/v1/campaigns" >"$tmp/upload_cens.$pass"
+    cid="$(jq -r .id "$tmp/upload_cens.$pass")"
+    [ -n "$cid" ] && [ "$cid" != null ]
+    jq -e '.censored == 50 and .budget == 1274' "$tmp/upload_cens.$pass" >/dev/null
+
+    echo "== ($pass) censored fit (expect 200 via the survival estimators, not 409)"
+    code="$(curl -sS -o "$tmp/fit_cens.$pass" -w '%{http_code}' \
+        -d "{\"id\":\"$cid\"}" "$base/v1/fit")"
+    [ "$code" = 200 ] || { echo "censored fit returned $code: $(cat "$tmp/fit_cens.$pass")" >&2; exit 1; }
+    jq -e '
+        .best.estimator == "censored-mle"
+        and .best.censored_fraction == 0.25
+        and .best.mean > 0
+        and ([.candidates[] | select(.accepted)] | length >= 1)
+    ' "$tmp/fit_cens.$pass" >/dev/null
+
+    echo "== ($pass) censored predict (numeric sanity)"
+    curl -fsS "$base/v1/predict?id=$cid&cores=16,64,256&quantile=0.5" \
+        >"$tmp/predict_cens.$pass"
+    jq -e '
+        (.speedups | length) == 3
+        and ([.speedups[].speedup] | . == (sort) and .[0] > 1)
+        and ([.speedups[] | select(.min_expectation <= 0)] | length == 0)
+        and .quantiles[0].value > 0
+        and .model.estimator == "censored-mle"
+    ' "$tmp/predict_cens.$pass" >/dev/null
+
     echo "== ($pass) error mapping (unknown id -> 404)"
     code="$(curl -sS -o /dev/null -w '%{http_code}' \
         -d '{"id":"c0000000000000000"}' "$base/v1/fit")"
@@ -108,5 +137,7 @@ stop_daemon
 echo "== byte-stability across restarts"
 cmp "$tmp/fit.first" "$tmp/fit.second"
 cmp "$tmp/predict.first" "$tmp/predict.second"
+cmp "$tmp/fit_cens.first" "$tmp/fit_cens.second"
+cmp "$tmp/predict_cens.first" "$tmp/predict_cens.second"
 
 echo "serve smoke: OK"
