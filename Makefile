@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-smoke bench-compare serve-smoke
+.PHONY: all build vet test test-short bench bench-smoke bench-compare serve-smoke docs-check
 
 all: build vet test
 
@@ -30,6 +30,13 @@ bench-compare:
 	sh scripts/bench.sh compare
 
 # End-to-end smoke of the lvserve daemon (build, boot, upload the
-# fixed-seed Costas fixture, fit, predict, restart, byte-compare).
+# fixed-seed Costas fixture, fit, predict, restart, byte-compare —
+# plus the durable kill-and-restart replay and two-replica routing
+# passes).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Docs honesty gate: compile every fenced go block in README.md and
+# link-check README/docs/ROADMAP.
+docs-check:
+	sh scripts/check_docs.sh

@@ -7,6 +7,20 @@
 //
 //	lvserve -addr :8080
 //	lvserve -addr :8080 -families exponential,shifted-exponential,lognormal -alpha 0.05
+//	lvserve -addr :8080 -data-dir /var/lib/lvserve        # durable store
+//
+// Durability: with -data-dir set, every accepted campaign is appended
+// to an fsync'd snapshot log under that directory and replayed on the
+// next boot, so a restarted daemon serves the same corpus — and
+// byte-identical fit/predict responses — without any re-upload.
+//
+// Replication: N daemons can serve one corpus as a replica group.
+// Give each the same -peers list and its own -replica slot; campaign
+// ids are consistent-hashed onto replicas and requests for foreign
+// ids are proxied to the owner, so any replica answers any id:
+//
+//	lvserve -addr :8080 -data-dir d0 -replica 0/2 -peers http://host0:8080,http://host1:8080
+//	lvserve -addr :8080 -data-dir d1 -replica 1/2 -peers http://host0:8080,http://host1:8080
 //
 // Quickstart (collect two shards on different machines, merge and
 // predict through the daemon):
@@ -27,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -44,6 +59,9 @@ func main() {
 		maxBody   = flag.Int64("max-body", 8<<20, "request body cap in bytes")
 		maxStore  = flag.Int("max-campaigns", 1024, "campaigns cached before FIFO eviction")
 		maxRuns   = flag.Int("max-collect-runs", 10000, "per-request cap on server-side collection runs")
+		dataDir   = flag.String("data-dir", "", "durable store directory (empty = in-memory only)")
+		replicaS  = flag.String("replica", "0/1", "this daemon's slot i/n in a replica group")
+		peersS    = flag.String("peers", "", "comma-separated base URLs of all n replicas, in slot order")
 	)
 	flag.Parse()
 
@@ -51,14 +69,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := serve.New(serve.Config{
+	replicaIndex, replicaCount, err := parseReplica(*replicaS)
+	if err != nil {
+		fatal(err)
+	}
+	var peers []string
+	if *peersS != "" {
+		peers = strings.Split(*peersS, ",")
+	}
+	srv, err := serve.New(serve.Config{
 		Families:       families,
 		Alpha:          *alpha,
 		Workers:        *workers,
 		MaxBodyBytes:   *maxBody,
 		MaxCampaigns:   *maxStore,
 		MaxCollectRuns: *maxRuns,
+		DataDir:        *dataDir,
+		ReplicaIndex:   replicaIndex,
+		ReplicaCount:   replicaCount,
+		Peers:          peers,
 	})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -66,7 +100,11 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {
-		log.Printf("lvserve: listening on %s", *addr)
+		storeKind := "in-memory store"
+		if *dataDir != "" {
+			storeKind = "durable store at " + *dataDir
+		}
+		log.Printf("lvserve: listening on %s (replica %d/%d, %s)", *addr, replicaIndex, replicaCount, storeKind)
 		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
 		}
@@ -81,6 +119,28 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		fatal(err)
 	}
+}
+
+// parseReplica parses the -replica flag's "i/n" slot. Strict: the
+// flag must be exactly two integers — trailing garbage would silently
+// start a replica that routes differently from its peers.
+func parseReplica(s string) (index, count int, err error) {
+	bad := func() (int, int, error) {
+		return 0, 0, fmt.Errorf("lvserve: bad -replica %q (want i/n with 0 ≤ i < n)", s)
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return bad()
+	}
+	index, err = strconv.Atoi(is)
+	if err != nil {
+		return bad()
+	}
+	count, err = strconv.Atoi(ns)
+	if err != nil || count < 1 || index < 0 || index >= count {
+		return bad()
+	}
+	return index, count, nil
 }
 
 // parseFamilies parses the -families flag against the families the

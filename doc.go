@@ -93,12 +93,13 @@
 // # Serving
 //
 // cmd/lvserve (package internal/serve) puts the same pipeline behind
-// an HTTP daemon: campaigns upload to a content-addressed in-memory
-// store, fit once per campaign (single-flight, on a bounded worker
-// pool) and answer speed-up queries from the cached model, with the
-// typed errors mapped onto status codes (400 ErrSchema and
-// ErrEmptyCampaign, 404 ErrUnknownProblem and unknown ids, 409
-// ErrCensored and ErrMergeMismatch, 422 ErrNoAcceptableFit).
+// an HTTP daemon: campaigns upload to a content-addressed store
+// (package internal/store), fit once per campaign (single-flight, on
+// a bounded worker pool) and answer speed-up queries from the cached
+// model, with the typed errors mapped onto status codes (400
+// ErrSchema and ErrEmptyCampaign, 404 ErrUnknownProblem and unknown
+// ids, 409 ErrMergeMismatch — merge conflicts only — and 422
+// ErrNoAcceptableFit or ErrCensored for all-censored campaigns).
 // Campaigns may also be collected on several machines — `lvseq -shard
 // i/n` splits the run indices into contiguous blocks whose random
 // streams still derive from the root seed at the global index — and
@@ -116,6 +117,35 @@
 // responses across daemon restarts; CI's serve-smoke job replays this
 // exact workflow (scripts/serve_smoke.sh) on every push.
 //
+// # Serving durably
+//
+// By default the daemon's store is in-memory and forgets every
+// campaign on exit. Pointing it at a data directory makes the corpus
+// durable: every accepted campaign's canonical JSON is appended to an
+// fsync'd snapshot log and replayed on the next boot, so a restarted
+// daemon serves the same campaigns — and, fits being deterministic,
+// byte-identical fit and predict responses — with no re-upload:
+//
+//	lvserve -addr :8080 -data-dir /var/lib/lvserve
+//
+// Several replicas can serve one corpus. Each gets the same -peers
+// list and its own -replica slot; campaign ids are consistent-hashed
+// onto replicas (each owns one contiguous range of the 64-bit id-hash
+// space) and requests for foreign ids are proxied to the owner, so
+// any replica answers any id exactly as a single instance would:
+//
+//	lvserve -addr :8080 -data-dir d0 -replica 0/2 -peers host0:8080,host1:8080
+//	lvserve -addr :8081 -data-dir d1 -replica 1/2 -peers host0:8080,host1:8080
+//
+// GET /v1/healthz reports the store behind a replica: resident
+// campaigns, stored bytes (the snapshot-log size when durable), the
+// replica slot ("0/2") and its hex shard_range, plus the replayed
+// campaign count and replay_ms from the last boot. The CI smoke
+// proves both properties on every push: a kill-and-restart pass that
+// must replay the log and answer byte-identically without re-upload,
+// and a two-replica pass that must answer every id identically to a
+// single instance through either replica.
+//
 // # Layout
 //
 // All implementation lives under internal/ behind this package:
@@ -128,6 +158,10 @@
 //   - internal/problems    — ALL-INTERVAL, MAGIC-SQUARE, COSTAS, Queens
 //   - internal/sat         — WalkSAT on planted 3-SAT (Problem "sat-3")
 //   - internal/multiwalk   — real and simulated multi-walk engines
+//   - internal/survival    — Kaplan–Meier and censored-MLE estimators
+//   - internal/store       — the durable campaign store behind lvserve
+//     (content-addressed snapshot log, replica hash ranges)
+//   - internal/serve       — the lvserve HTTP daemon over it
 //   - internal/experiments — regenerates every paper table and figure
 //     through this package, in parallel on a bounded worker pool
 //
@@ -151,6 +185,7 @@
 // Hot paths are allocation-free; `make bench` records a baseline in
 // BENCH_<n>.json for future performance work to compare against.
 //
-// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
-// results.
+// See README.md for a tour and docs/ARCHITECTURE.md for the layer
+// diagram, the campaign data-flow and the persistence/replication
+// design notes.
 package lasvegas

@@ -1,0 +1,139 @@
+package lasvegas_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"lasvegas"
+)
+
+// Shards of one campaign — say, collected on two machines with
+// `lvseq -shard 0/2` and `lvseq -shard 1/2` — pool back into the
+// exact single-machine campaign, while samples of different instances
+// refuse to merge.
+func ExampleCampaign_Merge() {
+	annotate := func(slot string) map[string]string {
+		return map[string]string{
+			"lasvegas.shard":      slot,
+			"lasvegas.shard.runs": "6",
+		}
+	}
+	shard0 := &lasvegas.Campaign{
+		Problem:    "costas-13",
+		Runs:       3,
+		Seed:       1,
+		Iterations: []float64{1200, 845, 3100},
+		Metadata:   annotate("0/2"),
+	}
+	shard1 := &lasvegas.Campaign{
+		Problem:    "costas-13",
+		Runs:       3,
+		Seed:       1,
+		Iterations: []float64{560, 1975, 402},
+		Metadata:   annotate("1/2"),
+	}
+	merged, err := shard0.Merge(shard1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d runs, max %v iterations\n",
+		merged.Problem, len(merged.Iterations), merged.IterationSummary().Max)
+
+	// A complete in-order shard cover provably reconstructs one
+	// deterministic collection, so the pooled campaign keeps its seed.
+	fmt.Println("seed preserved:", merged.Seed == 1)
+
+	// Samples of different instances are not draws of one
+	// distribution and must not be pooled.
+	other := &lasvegas.Campaign{Problem: "costas-14", Runs: 1, Iterations: []float64{77}}
+	_, err = shard0.Merge(other)
+	fmt.Println("merge mismatch:", errors.Is(err, lasvegas.ErrMergeMismatch))
+	// Output:
+	// costas-13: 6 runs, max 3100 iterations
+	// seed preserved: true
+	// merge mismatch: true
+}
+
+// Fit runs the paper's §6 model selection on a campaign: every
+// candidate family is estimated and KS-tested, and the best accepted
+// law comes back as a predictive Model. The fixed seed makes the
+// whole pipeline deterministic.
+func ExamplePredictor_Fit() {
+	p := lasvegas.New(lasvegas.WithRuns(200), lasvegas.WithSeed(1))
+	campaign, err := p.Collect(context.Background(), lasvegas.Costas, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := p.Fit(campaign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("family:", model.Family())
+	fmt.Println("accepted:", model.Accepted())
+	fmt.Printf("mean iterations: %.0f\n", model.Mean())
+	// Output:
+	// family: shifted-exponential
+	// accepted: true
+	// mean iterations: 946
+}
+
+// Speedup predicts the paper's G(n) = E[Y]/E[Z(n)] from the fitted
+// sequential law alone: near-linear gains while n is small against
+// the distribution's scale, then the approach to the E[Y]/x0 ceiling
+// of the shifted exponential.
+func ExampleModel_Speedup() {
+	p := lasvegas.New(lasvegas.WithRuns(200), lasvegas.WithSeed(1))
+	campaign, err := p.Collect(context.Background(), lasvegas.Costas, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := p.Fit(campaign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []int{16, 64, 256} {
+		g, err := model.Speedup(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("G(%d) = %.1f\n", n, g)
+	}
+	fmt.Printf("limit: %.0f\n", model.Limit())
+	// Output:
+	// G(16) = 15.3
+	// G(64) = 53.3
+	// G(256) = 141.5
+	// limit: 315
+}
+
+// WithCensoredFit turns cheap budgeted campaigns — runs cut off at an
+// iteration budget are only known to be "longer than that" — into
+// predictions via the censored maximum-likelihood estimators, instead
+// of failing with ErrCensored. The served model discloses how it was
+// estimated.
+func ExampleWithCensoredFit() {
+	p := lasvegas.New(lasvegas.WithRuns(200), lasvegas.WithSeed(1),
+		lasvegas.WithBudget(1274), // ~25% of Costas-13 runs exhaust this
+		lasvegas.WithCensoredFit(true))
+	campaign, err := p.Collect(context.Background(), lasvegas.Costas, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("censored: %.0f%% of runs\n", 100*campaign.CensoredFraction())
+	model, err := p.Fit(campaign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("family:", model.Family(), "estimator:", model.Estimator())
+	g, err := model.Speedup(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("G(64) = %.1f\n", g)
+	// Output:
+	// censored: 25% of runs
+	// family: shifted-exponential estimator: censored-mle
+	// G(64) = 53.7
+}

@@ -16,7 +16,29 @@
 //	                     speed-up / min-expectation / quantile /
 //	                     cores-for-speedup queries against the cached
 //	                     model (fitting it on first use)
-//	GET  /v1/healthz     liveness plus store occupancy
+//	GET  /v1/healthz     liveness plus store stats: campaigns, bytes,
+//	                     replica and shard range, snapshot-log replay
+//	                     counters
+//
+// # Durability
+//
+// The campaign store behind the daemon is an internal/store.Store.
+// By default it is the in-memory FIFO-bounded cache (Config.DataDir
+// empty); pointing DataDir at a directory switches to the durable
+// store, which appends every accepted campaign's canonical JSON to an
+// fsync'd snapshot log and replays it on boot — a restarted daemon
+// serves the same corpus, and (fits being deterministic) byte-
+// identical fit and predict responses, without any re-upload.
+//
+// # Replication
+//
+// Several replicas can serve one corpus: give each the same
+// Config.Peers list and its own Config.ReplicaIndex out of
+// Config.ReplicaCount. Campaign ids are consistent-hashed onto
+// replicas (store.Owner); each replica stores and fits only the hash
+// range it owns and transparently proxies /v1/campaigns, /v1/fit and
+// /v1/predict requests for foreign ids to the owning peer, so every
+// replica answers every id exactly as a single instance would.
 //
 // Censored campaigns — the cheap, budgeted kind `lvseq -maxiter`
 // produces — are first-class: the daemon fits them with the
@@ -46,11 +68,18 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"lasvegas"
+	"lasvegas/internal/store"
 )
+
+// defaultWorkers sizes the fit/collect pool when Config.Workers is 0.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Config configures a Server. The zero value serves the paper's
 // defaults: DefaultFamilies at α = 0.05, GOMAXPROCS-bounded fitting
@@ -77,17 +106,44 @@ type Config struct {
 	// (default 10000), keeping a single request from monopolizing the
 	// daemon.
 	MaxCollectRuns int
+	// DataDir switches the campaign store from the in-memory cache to
+	// the durable snapshot-log store rooted at this directory: every
+	// accepted campaign is fsync'd before it is acknowledged and
+	// replayed on the next boot. Empty (the default) keeps the
+	// process-local store.
+	DataDir string
+	// ReplicaIndex / ReplicaCount place this daemon in a replica
+	// group: the store's consistent hash assigns each campaign id to
+	// exactly one of ReplicaCount replicas, and this one owns index
+	// ReplicaIndex. The default (count ≤ 1) is a single instance
+	// owning everything.
+	ReplicaIndex int
+	ReplicaCount int
+	// Peers lists every replica's base URL ("http://host:port"),
+	// indexed by replica; requests for campaign ids this replica does
+	// not own are proxied to Peers[owner]. Required (with non-empty
+	// foreign entries) when ReplicaCount > 1; the entry at
+	// ReplicaIndex is never dialed and may be empty.
+	Peers []string
 }
 
-// Server is the prediction daemon: an in-memory campaign/model store
-// plus the HTTP handlers over it. Safe for concurrent use.
+// Server is the prediction daemon: a campaign/model store (in-memory
+// or durable, possibly one shard of a replica group) plus the HTTP
+// handlers over it. Safe for concurrent use.
 type Server struct {
-	cfg   Config
-	store *store
+	cfg      Config
+	pred     *lasvegas.Predictor
+	store    store.Store
+	gate     store.Gate // bounds concurrent fit/collect work
+	replicas int
+	self     int
+	peers    []string
+	client   *http.Client // dials peer replicas
 }
 
-// New returns a Server with cfg applied over the defaults.
-func New(cfg Config) *Server {
+// New returns a Server with cfg applied over the defaults. The error
+// paths are bad replica configuration and an unopenable DataDir.
+func New(cfg Config) (*Server, error) {
 	if cfg.Alpha <= 0 {
 		cfg.Alpha = 0.05
 	}
@@ -108,6 +164,41 @@ func New(cfg Config) *Server {
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
+	replicas := cfg.ReplicaCount
+	if replicas < 1 {
+		replicas = 1
+	}
+	if cfg.ReplicaIndex < 0 || cfg.ReplicaIndex >= replicas {
+		return nil, fmt.Errorf("serve: replica index %d outside [0, %d)", cfg.ReplicaIndex, replicas)
+	}
+	peers := cfg.Peers
+	if replicas > 1 {
+		if len(peers) != replicas {
+			return nil, fmt.Errorf("serve: %d replicas need %d peer URLs, got %d", replicas, replicas, len(peers))
+		}
+		peers = append([]string(nil), peers...)
+		for i, p := range peers {
+			if i == cfg.ReplicaIndex {
+				continue // own address, never dialed
+			}
+			p = strings.TrimSpace(p)
+			if p == "" {
+				return nil, fmt.Errorf("serve: replica %d has no peer URL", i)
+			}
+			if !strings.Contains(p, "://") {
+				p = "http://" + p
+			}
+			p = strings.TrimRight(p, "/")
+			// Reject unusable peer URLs at startup: a malformed entry
+			// would otherwise surface as a confusing per-request error
+			// blamed on the client.
+			u, err := url.Parse(p)
+			if err != nil || u.Scheme == "" || u.Host == "" {
+				return nil, fmt.Errorf("serve: replica %d peer URL %q is not a valid base URL", i, peers[i])
+			}
+			peers[i] = p
+		}
+	}
 	// WithCensoredFit: budgeted campaigns are the cheapest to collect,
 	// so the daemon fits them with the survival estimators instead of
 	// bouncing them with a 409 (which now remains for merge mismatches
@@ -120,9 +211,37 @@ func New(cfg Config) *Server {
 	if explicitFamilies {
 		opts = append(opts, lasvegas.WithFamilies(cfg.Families...))
 	}
-	pred := lasvegas.New(opts...)
-	return &Server{cfg: cfg, store: newStore(pred, workers, cfg.MaxCampaigns)}
+	var st store.Store
+	if cfg.DataDir != "" {
+		var err error
+		if st, err = store.Open(cfg.DataDir, cfg.MaxCampaigns); err != nil {
+			return nil, err
+		}
+	} else {
+		st = store.NewMemory(cfg.MaxCampaigns)
+	}
+	return &Server{
+		cfg:      cfg,
+		pred:     lasvegas.New(opts...),
+		store:    st,
+		gate:     store.NewGate(workers),
+		replicas: replicas,
+		self:     cfg.ReplicaIndex,
+		peers:    peers,
+		client:   &http.Client{Timeout: peerTimeout},
+	}, nil
 }
+
+// peerTimeout bounds one proxied request to a peer replica: generous
+// enough for the slowest legitimate owner-side work (a near-cap
+// server-side collection), but finite, so a wedged peer fails fast-ish
+// with a 502 instead of pinning forwarding goroutines forever.
+const peerTimeout = 5 * time.Minute
+
+// Close releases the Server's store (flushing and closing the
+// snapshot log of a durable store). The handlers must not be used
+// afterwards.
+func (s *Server) Close() error { return s.store.Close() }
 
 // Handler returns the daemon's http.Handler.
 func (s *Server) Handler() http.Handler {
@@ -218,10 +337,26 @@ type errorResponse struct {
 	Status int    `json:"status"`
 }
 
-// healthResponse answers GET /v1/healthz.
+// healthResponse answers GET /v1/healthz: liveness plus the stats of
+// this replica's own store (peer shards report their own).
 type healthResponse struct {
 	Status    string `json:"status"`
 	Campaigns int    `json:"campaigns"`
+	// Bytes is the stored canonical-campaign volume; for a durable
+	// store, the snapshot-log size on disk.
+	Bytes int64 `json:"bytes"`
+	// Durable reports whether the store survives restarts (DataDir set).
+	Durable bool `json:"durable"`
+	// Replica is this daemon's "index/count" slot in the replica group
+	// ("0/1" for a single instance).
+	Replica string `json:"replica"`
+	// ShardRange is the inclusive hex range of 64-bit campaign-id
+	// hashes this replica owns.
+	ShardRange string `json:"shard_range"`
+	// Replayed counts campaigns recovered from the snapshot log at
+	// boot; ReplayMillis is how long the recovery took.
+	Replayed     int     `json:"replayed"`
+	ReplayMillis float64 `json:"replay_ms"`
 }
 
 // --- handlers -----------------------------------------------------
@@ -263,20 +398,45 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	e, err := s.store.add(c)
+	id, canonical, err := store.Encode(c)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, campaignResponse{
-		ID:       e.id,
+	resp := campaignResponse{
+		ID:       id,
 		Problem:  c.Problem,
 		Size:     c.Size,
 		Runs:     len(c.Iterations),
 		Censored: len(c.Censored),
 		Budget:   c.Budget,
 		Merged:   merged,
-	})
+	}
+	// A campaign lives on the replica its id hashes to. Merge and
+	// collect already ran here, so the owner gets the finished
+	// campaign's canonical bytes as a plain upload (never a second
+	// solver run); on success this replica answers exactly as a
+	// single instance would — it alone knows the merge/collect
+	// detail — while owner-side failures are relayed verbatim.
+	if owner := store.Owner(id, s.replicas); owner != s.self {
+		pr, ok := s.proxy(w, r, owner, canonical)
+		if !ok {
+			return
+		}
+		defer pr.Body.Close()
+		if pr.StatusCode != http.StatusOK {
+			s.relay(w, pr)
+			return
+		}
+		io.Copy(io.Discard, pr.Body)
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if _, err := s.store.AddEncoded(id, canonical, c); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // mergeShards decodes an array of campaign shards and pools them.
@@ -312,10 +472,10 @@ func (s *Server) collect(ctx context.Context, body []byte) (*lasvegas.Campaign, 
 	if cr.Seed == 0 {
 		cr.Seed = 1
 	}
-	if err := s.store.acquire(ctx); err != nil {
+	if err := s.gate.Acquire(ctx); err != nil {
 		return nil, err
 	}
-	defer s.store.release()
+	defer s.gate.Release()
 	p := lasvegas.New(
 		lasvegas.WithRuns(cr.Runs),
 		lasvegas.WithSeed(cr.Seed),
@@ -339,17 +499,21 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errors.New(`serve: fit request: want {"id": "<campaign id>"}`))
 		return
 	}
-	e, err := s.store.get(req.ID)
+	if owner := store.Owner(req.ID, s.replicas); owner != s.self {
+		s.forward(w, r, owner, body)
+		return
+	}
+	e, err := s.store.Get(req.ID)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	cands, best, err := s.store.fit(r.Context(), e)
+	cands, best, err := s.fit(r.Context(), e)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	resp := fitResponse{ID: e.id, Problem: e.campaign.Problem, Best: best}
+	resp := fitResponse{ID: e.ID, Problem: e.Campaign.Problem, Best: best}
 	for _, c := range cands {
 		cr := candidateResponse{Family: c.Family, Law: c.Law}
 		if c.Err != nil {
@@ -376,17 +540,21 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errors.New("serve: predict: missing id parameter"))
 		return
 	}
-	e, err := s.store.get(id)
+	if owner := store.Owner(id, s.replicas); owner != s.self {
+		s.forward(w, r, owner, nil)
+		return
+	}
+	e, err := s.store.Get(id)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	_, model, err := s.store.fit(r.Context(), e)
+	_, model, err := s.fit(r.Context(), e)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	resp := predictResponse{ID: e.id, Problem: e.campaign.Problem, Model: model}
+	resp := predictResponse{ID: e.ID, Problem: e.Campaign.Problem, Model: model}
 	if coresS := q.Get("cores"); coresS != "" {
 		cores, err := lasvegas.ParseCores(coresS)
 		if err != nil {
@@ -438,18 +606,116 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz reports liveness and store occupancy.
+// handleHealthz reports liveness plus this replica's store stats.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Campaigns: s.store.len()})
+	st := s.store.Stats()
+	lo, hi := store.ShardRange(s.self, s.replicas)
+	s.writeJSON(w, http.StatusOK, healthResponse{
+		Status:       "ok",
+		Campaigns:    st.Campaigns,
+		Bytes:        st.Bytes,
+		Durable:      s.cfg.DataDir != "",
+		Replica:      fmt.Sprintf("%d/%d", s.self, s.replicas),
+		ShardRange:   fmt.Sprintf("%016x-%016x", lo, hi),
+		Replayed:     st.Replayed,
+		ReplayMillis: float64(st.ReplayDuration) / 1e6,
+	})
 }
 
 // --- plumbing -----------------------------------------------------
+
+// fit runs the entry's single-flight fit on the shared worker gate.
+func (s *Server) fit(ctx context.Context, e *store.Entry) ([]lasvegas.Candidate, *lasvegas.Model, error) {
+	return e.Fit(ctx, s.gate, func(c *lasvegas.Campaign) ([]lasvegas.Candidate, *lasvegas.Model, error) {
+		return fitCampaign(s.pred, c)
+	})
+}
+
+// fitCampaign fits every candidate family once and selects the best
+// accepted model — Predictor.Fit's selection rule without fitting the
+// sample twice.
+func fitCampaign(pred *lasvegas.Predictor, c *lasvegas.Campaign) ([]lasvegas.Candidate, *lasvegas.Model, error) {
+	cands, err := pred.FitAll(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, cand := range cands {
+		if cand.Err == nil && cand.Model != nil && cand.Model.Accepted() {
+			return cands, cand.Model, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("%w (%d candidate families)", lasvegas.ErrNoAcceptableFit, len(cands))
+}
+
+// forwardHeader marks a request already routed once between replicas;
+// a marked request arriving at a non-owner means the replica group
+// disagrees on its own shape, and bouncing it again would loop.
+const forwardHeader = "Lvserve-Forwarded"
+
+// forward proxies the request to the replica that owns the campaign
+// id, replaying body (nil for GETs), and copies the peer's response
+// back verbatim — so a client talking to any replica sees exactly the
+// bytes the owner produced.
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner int, body []byte) {
+	resp, ok := s.proxy(w, r, owner, body)
+	if !ok {
+		return
+	}
+	defer resp.Body.Close()
+	s.relay(w, resp)
+}
+
+// proxy sends the request's method and URI, with body, to the owning
+// replica and returns its response. The two routing failure modes are
+// answered directly on w (ok = false): a request that was already
+// forwarded once means the replica group disagrees on its own shape
+// (421 — never bounce again), and an unreachable peer is a 502.
+func (s *Server) proxy(w http.ResponseWriter, r *http.Request, owner int, body []byte) (resp *http.Response, ok bool) {
+	if r.Header.Get(forwardHeader) != "" {
+		status := http.StatusMisdirectedRequest // 421
+		s.writeJSON(w, status, errorResponse{
+			Error:  fmt.Sprintf("serve: routing loop: replica %d/%d does not own this campaign but was forwarded it (peers misconfigured?)", s.self, s.replicas),
+			Status: status,
+		})
+		return nil, false
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, s.peers[owner]+r.URL.RequestURI(), rd)
+	if err != nil {
+		s.writeError(w, fmt.Errorf("serve: forwarding to replica %d: %w", owner, err))
+		return nil, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardHeader, "1")
+	resp, err = s.client.Do(req)
+	if err != nil {
+		status := http.StatusBadGateway // 502
+		s.writeJSON(w, status, errorResponse{
+			Error:  fmt.Sprintf("serve: replica %d unreachable: %v", owner, err),
+			Status: status,
+		})
+		return nil, false
+	}
+	return resp, true
+}
+
+// relay copies a peer's response back verbatim.
+func (s *Server) relay(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
 
 // statusFor maps the public package's typed errors (and the store's
 // unknown-id error) onto HTTP status codes.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, lasvegas.ErrUnknownProblem), errors.Is(err, errUnknownCampaign):
+	case errors.Is(err, lasvegas.ErrUnknownProblem), errors.Is(err, store.ErrUnknownCampaign):
 		return http.StatusNotFound // 404
 	case errors.Is(err, lasvegas.ErrMergeMismatch):
 		return http.StatusConflict // 409

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"testing"
 
 	"lasvegas"
+	"lasvegas/internal/store"
 )
 
 // fixturePath points at the repository's committed fixed-seed
@@ -21,8 +23,17 @@ import (
 var fixturePath = filepath.Join("..", "..", "testdata", "campaign_costas13.json")
 
 func newTestServer(t *testing.T) *httptest.Server {
+	return newConfigServer(t, Config{})
+}
+
+func newConfigServer(t *testing.T, cfg Config) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(Config{}).Handler())
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -371,7 +382,8 @@ func TestErrorMapping(t *testing.T) {
 	}
 }
 
-// TestHealthz checks liveness and store occupancy reporting.
+// TestHealthz checks liveness plus the store stats the endpoint grew
+// with the durable store: byte volume, replica slot and shard range.
 func TestHealthz(t *testing.T) {
 	ts := newTestServer(t)
 	status, body := get(t, ts, "/v1/healthz")
@@ -385,13 +397,16 @@ func TestHealthz(t *testing.T) {
 	if hr.Status != "ok" || hr.Campaigns != 0 {
 		t.Errorf("healthz %+v, want ok with empty store", hr)
 	}
+	if hr.Durable || hr.Replica != "0/1" || hr.ShardRange != "0000000000000000-ffffffffffffffff" {
+		t.Errorf("healthz %+v, want a non-durable single instance owning the whole hash space", hr)
+	}
 	uploadFixture(t, ts)
 	_, body = get(t, ts, "/v1/healthz")
 	if err := json.Unmarshal(body, &hr); err != nil {
 		t.Fatal(err)
 	}
-	if hr.Campaigns != 1 {
-		t.Errorf("healthz campaigns = %d after upload, want 1", hr.Campaigns)
+	if hr.Campaigns != 1 || hr.Bytes <= 0 {
+		t.Errorf("healthz after upload %+v, want 1 campaign and positive bytes", hr)
 	}
 }
 
@@ -427,8 +442,7 @@ func TestUploadDedup(t *testing.T) {
 // TestCollectRunsCap: a collect request beyond MaxCollectRuns is a
 // 400, not a multi-minute campaign.
 func TestCollectRunsCap(t *testing.T) {
-	ts := httptest.NewServer(New(Config{MaxCollectRuns: 10}).Handler())
-	defer ts.Close()
+	ts := newConfigServer(t, Config{MaxCollectRuns: 10})
 	status, body := post(t, ts, "/v1/campaigns",
 		[]byte(`{"collect": {"problem": "costas", "size": 8, "runs": 50}}`))
 	if status != http.StatusBadRequest {
@@ -436,6 +450,214 @@ func TestCollectRunsCap(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "cap") {
 		t.Errorf("error body %s does not mention the cap", body)
+	}
+}
+
+// TestDurableRestart is the durability contract over HTTP: upload and
+// fit against a DataDir-backed daemon, tear it down, boot a fresh one
+// on the same directory, and get byte-identical fit and predict
+// responses without re-uploading anything.
+func TestDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	var fits, predicts [2][]byte
+	var id string
+	for i := 0; i < 2; i++ {
+		ts := newConfigServer(t, Config{DataDir: dir})
+		var hr healthResponse
+		_, body := get(t, ts, "/v1/healthz")
+		if err := json.Unmarshal(body, &hr); err != nil {
+			t.Fatal(err)
+		}
+		if !hr.Durable {
+			t.Fatalf("generation %d: healthz %+v, want durable", i, hr)
+		}
+		if i == 0 {
+			if hr.Campaigns != 0 || hr.Replayed != 0 {
+				t.Fatalf("fresh data dir healthz %+v, want empty store", hr)
+			}
+			id = uploadFixture(t, ts)
+		} else {
+			// The restarted daemon replayed the snapshot log: the
+			// campaign is already there, nothing was re-uploaded.
+			if hr.Campaigns != 1 || hr.Replayed != 1 {
+				t.Fatalf("restarted healthz %+v, want 1 replayed campaign", hr)
+			}
+		}
+		status, body := post(t, ts, "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, id)))
+		if status != http.StatusOK {
+			t.Fatalf("generation %d fit: status %d, body %s", i, status, body)
+		}
+		fits[i] = body
+		status, body = get(t, ts, "/v1/predict?id="+id+"&cores=16,64,256&quantile=0.5&target=8")
+		if status != http.StatusOK {
+			t.Fatalf("generation %d predict: status %d", i, status)
+		}
+		predicts[i] = body
+		ts.Close()
+	}
+	if !bytes.Equal(fits[0], fits[1]) {
+		t.Errorf("fit responses differ across a durable restart:\n%s\nvs\n%s", fits[0], fits[1])
+	}
+	if !bytes.Equal(predicts[0], predicts[1]) {
+		t.Errorf("predict responses differ across a durable restart:\n%s\nvs\n%s", predicts[0], predicts[1])
+	}
+}
+
+// replicaGroup boots a two-replica group and returns the base URL of
+// each replica. Listeners are created first so every replica knows
+// the full peer list before serving.
+func replicaGroup(t *testing.T, cfg Config) [2]string {
+	t.Helper()
+	var listeners [2]net.Listener
+	var peers []string
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		peers = append(peers, "http://"+l.Addr().String())
+	}
+	var urls [2]string
+	for i, l := range listeners {
+		c := cfg
+		c.ReplicaIndex, c.ReplicaCount, c.Peers = i, 2, peers
+		if cfg.DataDir != "" {
+			c.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("replica%d", i))
+		}
+		srv, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(l)
+		t.Cleanup(func() {
+			hs.Close()
+			srv.Close()
+		})
+		urls[i] = peers[i]
+	}
+	return urls
+}
+
+// TestReplicaRouting: a two-replica group answers every request —
+// upload, fit, predict, for every campaign — byte-identically to a
+// single instance, no matter which replica the client talks to, and
+// each campaign is resident on exactly one replica.
+func TestReplicaRouting(t *testing.T) {
+	single := newTestServer(t)
+	sid := uploadFixture(t, single)
+	_, singleFit := post(t, single, "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, sid)))
+	_, singlePredict := get(t, single, "/v1/predict?id="+sid+"&cores=16,64&quantile=0.9&target=4")
+
+	urls := replicaGroup(t, Config{})
+	httpDo := func(replica int, method, path string, body []byte) (int, []byte) {
+		t.Helper()
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, urls[replica]+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s via replica %d: %v", method, path, replica, err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, data
+	}
+
+	// Upload through both replicas: same id, one resident copy.
+	for replica := range urls {
+		status, body := httpDo(replica, "POST", "/v1/campaigns", fixtureJSON(t))
+		if status != http.StatusOK {
+			t.Fatalf("upload via replica %d: status %d, body %s", replica, status, body)
+		}
+		var cr campaignResponse
+		if err := json.Unmarshal(body, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if cr.ID != sid {
+			t.Fatalf("replica %d upload id %q, want the single instance's %q", replica, cr.ID, sid)
+		}
+	}
+	var residents int
+	for replica := range urls {
+		_, body := httpDo(replica, "GET", "/v1/healthz", nil)
+		var hr healthResponse
+		if err := json.Unmarshal(body, &hr); err != nil {
+			t.Fatal(err)
+		}
+		residents += hr.Campaigns
+		if want := fmt.Sprintf("%d/2", replica); hr.Replica != want {
+			t.Errorf("replica %d healthz slot %q, want %q", replica, hr.Replica, want)
+		}
+	}
+	if residents != 1 {
+		t.Fatalf("campaign resident on %d replicas, want exactly 1", residents)
+	}
+
+	// Fit and predict through the owner and the non-owner must both
+	// return the single instance's exact bytes.
+	for replica := range urls {
+		status, body := httpDo(replica, "POST", "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, sid)))
+		if status != http.StatusOK {
+			t.Fatalf("fit via replica %d: status %d, body %s", replica, status, body)
+		}
+		if !bytes.Equal(body, singleFit) {
+			t.Errorf("fit via replica %d differs from the single instance:\n%s\nvs\n%s", replica, body, singleFit)
+		}
+		status, body = httpDo(replica, "GET", "/v1/predict?id="+sid+"&cores=16,64&quantile=0.9&target=4", nil)
+		if status != http.StatusOK {
+			t.Fatalf("predict via replica %d: status %d, body %s", replica, status, body)
+		}
+		if !bytes.Equal(body, singlePredict) {
+			t.Errorf("predict via replica %d differs from the single instance", replica)
+		}
+	}
+
+	// Unknown ids still 404 through the routing layer (the error comes
+	// from whichever replica owns the id's hash range).
+	status, _ := httpDo(0, "POST", "/v1/fit", []byte(`{"id":"c0000000000000000000000000000000"}`))
+	if status != http.StatusNotFound {
+		t.Errorf("unknown id via replica group: status %d, want 404", status)
+	}
+}
+
+// TestRoutingLoopGuard: a request carrying the forwarded marker that
+// lands on a non-owner is answered 421, not bounced forever.
+func TestRoutingLoopGuard(t *testing.T) {
+	urls := replicaGroup(t, Config{})
+	// Find an id owned by replica 1 and send it, pre-marked, to
+	// replica 0 (and vice versa) — misconfiguration simulated directly.
+	for replica := range urls {
+		var foreign string
+		for i := 0; ; i++ {
+			candidate := fmt.Sprintf("c%032x", i)
+			if store.Owner(candidate, 2) == 1-replica {
+				foreign = candidate
+				break
+			}
+		}
+		req, err := http.NewRequest("GET", urls[replica]+"/v1/predict?id="+foreign+"&cores=4", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(forwardHeader, "1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMisdirectedRequest {
+			t.Errorf("pre-forwarded foreign id on replica %d: status %d, want 421", replica, resp.StatusCode)
+		}
 	}
 }
 

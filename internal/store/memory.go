@@ -1,0 +1,100 @@
+package store
+
+import (
+	"sync"
+
+	"lasvegas"
+)
+
+// Memory is the process-local Store: a content-addressed map with
+// FIFO eviction and no durability — every campaign is gone on exit.
+// It is both lvserve's default store and the resident index inside
+// the Disk store.
+type Memory struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+	order   []string // insertion order, for FIFO eviction
+	max     int
+	bytes   int64            // canonical-JSON volume of resident campaigns
+	sizes   map[string]int64 // per-entry byte sizes, so eviction can subtract
+}
+
+// NewMemory returns a Memory store evicting FIFO past maxCampaigns
+// (minimum 1).
+func NewMemory(maxCampaigns int) *Memory {
+	if maxCampaigns < 1 {
+		maxCampaigns = 1
+	}
+	return &Memory{
+		entries: make(map[string]*Entry),
+		sizes:   make(map[string]int64),
+		max:     maxCampaigns,
+	}
+}
+
+// Add implements Store.
+func (m *Memory) Add(c *lasvegas.Campaign) (*Entry, error) {
+	data, err := c.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	return m.AddEncoded(idOfBytes(data), data, c)
+}
+
+// AddEncoded implements Store: Add with the content id and canonical
+// bytes already in hand (both must come from Encode).
+func (m *Memory) AddEncoded(id string, data []byte, c *lasvegas.Campaign) (*Entry, error) {
+	e, _ := m.addBytes(id, c, int64(len(data)))
+	return e, nil
+}
+
+// addBytes inserts (or dedups) an entry whose canonical encoding is
+// size bytes long, reporting whether a new entry was created — the
+// signal the Disk store uses to decide whether to append to its log.
+func (m *Memory) addBytes(id string, c *lasvegas.Campaign, size int64) (*Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[id]; ok {
+		return e, false
+	}
+	for len(m.entries) >= m.max && len(m.order) > 0 {
+		oldest := m.order[0]
+		m.order = m.order[1:]
+		delete(m.entries, oldest)
+		m.bytes -= m.sizes[oldest]
+		delete(m.sizes, oldest)
+	}
+	e := newEntry(id, c)
+	m.entries[id] = e
+	m.order = append(m.order, id)
+	m.sizes[id] = size
+	m.bytes += size
+	return e, true
+}
+
+// Get implements Store.
+func (m *Memory) Get(id string) (*Entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[id]; ok {
+		return e, nil
+	}
+	return nil, unknown(id)
+}
+
+// Len implements Store.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Stats implements Store.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Campaigns: len(m.entries), Bytes: m.bytes}
+}
+
+// Close implements Store (a no-op for the in-memory store).
+func (m *Memory) Close() error { return nil }

@@ -4,15 +4,23 @@
 # HTTP with the committed fixed-seed Costas campaign, assert the
 # responses are numerically sane, then restart the daemon and require
 # byte-identical fit/predict responses (the determinism contract that
-# makes cached service answers trustworthy). Exits non-zero on any
-# failed assertion; the daemon is always shut down.
+# makes cached service answers trustworthy). Then the scale passes:
+# a durable daemon (-data-dir) is killed and restarted, must replay
+# its snapshot log and answer fit/predict byte-identically without any
+# re-upload; and a two-replica group (-replica 0/2, 1/2 with -peers)
+# must answer every id byte-identically to the single instance through
+# either replica. Exits non-zero on any failed assertion; every daemon
+# is always shut down.
 #
 #   scripts/serve_smoke.sh [port]
 #
-# Needs curl and jq (both present on the GitHub Actions runners).
+# Uses three consecutive ports starting at [port]. Needs curl and jq
+# (both present on the GitHub Actions runners).
 set -eu
 
 port="${1:-18080}"
+port1=$((port + 1))
+port2=$((port + 2))
 cd "$(dirname "$0")/.."
 
 fixture=testdata/campaign_costas13.json
@@ -20,13 +28,17 @@ censored_fixture=testdata/campaign_costas13_censored.json
 base="http://127.0.0.1:$port"
 tmp="$(mktemp -d)"
 pid=""
+pid1=""
+pid2=""
 
 cleanup() {
     status=$?
-    if [ -n "$pid" ]; then
-        kill "$pid" 2>/dev/null || true
-        wait "$pid" 2>/dev/null || true
-    fi
+    for p in "$pid" "$pid1" "$pid2"; do
+        if [ -n "$p" ]; then
+            kill "$p" 2>/dev/null || true
+            wait "$p" 2>/dev/null || true
+        fi
+    done
     rm -rf "$tmp"
     exit $status
 }
@@ -35,19 +47,25 @@ trap cleanup EXIT INT TERM
 echo "== building lvserve"
 go build -o "$tmp/lvserve" ./cmd/lvserve
 
-start_daemon() {
-    "$tmp/lvserve" -addr "127.0.0.1:$port" >"$tmp/lvserve.log" 2>&1 &
-    pid=$!
+# wait_healthy <base-url> <logfile>
+wait_healthy() {
     i=0
-    until curl -fsS "$base/v1/healthz" >/dev/null 2>&1; do
+    until curl -fsS "$1/v1/healthz" >/dev/null 2>&1; do
         i=$((i + 1))
         if [ "$i" -gt 100 ]; then
             echo "lvserve did not become healthy; log:" >&2
-            cat "$tmp/lvserve.log" >&2
+            cat "$2" >&2
             exit 1
         fi
         sleep 0.1
     done
+}
+
+# start_daemon [extra flags...] — boots on $port, sets $pid.
+start_daemon() {
+    "$tmp/lvserve" -addr "127.0.0.1:$port" "$@" >"$tmp/lvserve.log" 2>&1 &
+    pid=$!
+    wait_healthy "$base" "$tmp/lvserve.log"
 }
 
 stop_daemon() {
@@ -139,5 +157,94 @@ cmp "$tmp/fit.first" "$tmp/fit.second"
 cmp "$tmp/predict.first" "$tmp/predict.second"
 cmp "$tmp/fit_cens.first" "$tmp/fit_cens.second"
 cmp "$tmp/predict_cens.first" "$tmp/predict_cens.second"
+
+# --- durability: upload → kill -9 → restart replays the snapshot ---
+# log; no re-upload, byte-identical answers.
+
+echo "== durability: uploading to a -data-dir daemon"
+datadir="$tmp/data"
+start_daemon -data-dir "$datadir"
+curl -fsS -d @"$fixture" "$base/v1/campaigns" >"$tmp/dur_upload"
+did="$(jq -r .id "$tmp/dur_upload")"
+curl -fsS -d @"$censored_fixture" "$base/v1/campaigns" >"$tmp/dur_upload_cens"
+cdid="$(jq -r .id "$tmp/dur_upload_cens")"
+curl -fsS -d "{\"id\":\"$did\"}" "$base/v1/fit" >"$tmp/dur_fit.before"
+curl -fsS "$base/v1/predict?id=$did&cores=16,64,256&quantile=0.5&target=8" >"$tmp/dur_predict.before"
+curl -fsS -d "{\"id\":\"$cdid\"}" "$base/v1/fit" >"$tmp/dur_fit_cens.before"
+curl -fsS "$base/v1/healthz" | jq -e '
+    .durable == true and .campaigns == 2 and .bytes > 0
+' >/dev/null
+
+echo "== durability: kill -9 and restart on the same data dir"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+start_daemon -data-dir "$datadir"
+curl -fsS "$base/v1/healthz" >"$tmp/dur_health"
+jq -e '.durable == true and .campaigns == 2 and .replayed == 2' "$tmp/dur_health" >/dev/null
+
+echo "== durability: byte-identical fit/predict with no re-upload"
+curl -fsS -d "{\"id\":\"$did\"}" "$base/v1/fit" >"$tmp/dur_fit.after"
+curl -fsS "$base/v1/predict?id=$did&cores=16,64,256&quantile=0.5&target=8" >"$tmp/dur_predict.after"
+curl -fsS -d "{\"id\":\"$cdid\"}" "$base/v1/fit" >"$tmp/dur_fit_cens.after"
+stop_daemon
+cmp "$tmp/dur_fit.before" "$tmp/dur_fit.after"
+cmp "$tmp/dur_predict.before" "$tmp/dur_predict.after"
+cmp "$tmp/dur_fit_cens.before" "$tmp/dur_fit_cens.after"
+# The durable answers are also exactly the in-memory daemon's answers.
+cmp "$tmp/fit.first" "$tmp/dur_fit.after"
+cmp "$tmp/predict.first" "$tmp/dur_predict.after"
+cmp "$tmp/fit_cens.first" "$tmp/dur_fit_cens.after"
+
+# --- sharding: a two-replica group answers every id identically to --
+# the single instance, through either replica.
+
+echo "== sharding: booting replicas 0/2 and 1/2"
+peers="127.0.0.1:$port1,127.0.0.1:$port2"
+base1="http://127.0.0.1:$port1"
+base2="http://127.0.0.1:$port2"
+"$tmp/lvserve" -addr "127.0.0.1:$port1" -replica 0/2 -peers "$peers" >"$tmp/replica0.log" 2>&1 &
+pid1=$!
+"$tmp/lvserve" -addr "127.0.0.1:$port2" -replica 1/2 -peers "$peers" >"$tmp/replica1.log" 2>&1 &
+pid2=$!
+wait_healthy "$base1" "$tmp/replica0.log"
+wait_healthy "$base2" "$tmp/replica1.log"
+
+echo "== sharding: uploads through replica 0 route to their owners"
+curl -fsS -d @"$fixture" "$base1/v1/campaigns" >"$tmp/shard_upload"
+[ "$(jq -r .id "$tmp/shard_upload")" = "$did" ]
+curl -fsS -d @"$censored_fixture" "$base1/v1/campaigns" >"$tmp/shard_upload_cens"
+[ "$(jq -r .id "$tmp/shard_upload_cens")" = "$cdid" ]
+c1="$(curl -fsS "$base1/v1/healthz" | jq .campaigns)"
+c2="$(curl -fsS "$base2/v1/healthz" | jq .campaigns)"
+[ "$((c1 + c2))" = 2 ] || {
+    echo "corpus spread over $c1+$c2 resident campaigns, want 2 total" >&2
+    exit 1
+}
+curl -fsS "$base1/v1/healthz" | jq -e '.replica == "0/2"' >/dev/null
+curl -fsS "$base2/v1/healthz" | jq -e '.replica == "1/2"' >/dev/null
+
+echo "== sharding: every id answers identically through either replica"
+for b in "$base1" "$base2"; do
+    curl -fsS -d "{\"id\":\"$did\"}" "$b/v1/fit" >"$tmp/shard_fit"
+    cmp "$tmp/fit.first" "$tmp/shard_fit"
+    curl -fsS "$b/v1/predict?id=$did&cores=16,64,256&quantile=0.5&target=8" >"$tmp/shard_predict"
+    cmp "$tmp/predict.first" "$tmp/shard_predict"
+    curl -fsS -d "{\"id\":\"$cdid\"}" "$b/v1/fit" >"$tmp/shard_fit_cens"
+    cmp "$tmp/fit_cens.first" "$tmp/shard_fit_cens"
+    curl -fsS "$b/v1/predict?id=$cdid&cores=16,64,256&quantile=0.5" >"$tmp/shard_predict_cens"
+    cmp "$tmp/predict_cens.first" "$tmp/shard_predict_cens"
+done
+
+echo "== sharding: unknown ids still 404 through the routing layer"
+code="$(curl -sS -o /dev/null -w '%{http_code}' \
+    -d '{"id":"c00000000000000000000000000000000"}' "$base2/v1/fit")"
+[ "$code" = 404 ]
+
+kill "$pid1" "$pid2"
+wait "$pid1" 2>/dev/null || true
+wait "$pid2" 2>/dev/null || true
+pid1=""
+pid2=""
 
 echo "serve smoke: OK"
