@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-smoke bench-compare serve-smoke docs-check
+.PHONY: all build vet test test-short bench bench-smoke bench-compare serve-smoke serve-chaos loadgen docs-check
 
 all: build vet test
 
@@ -35,6 +35,18 @@ bench-compare:
 # passes).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# The CI-sized chaos drill: 3 replicas with -replication-factor 2
+# under mixed load while one is kill -9'd and restarted; gates on zero
+# failed requests after retries, zero lost campaigns, drained hint
+# queues and byte-identical answers from every replica.
+serve-chaos:
+	sh scripts/serve_chaos.sh
+
+# The full-size drill: same harness, longer load and a bigger working
+# set.
+loadgen:
+	CHAOS_DURATION=60s CHAOS_CAMPAIGNS=24 CHAOS_CONCURRENCY=12 sh scripts/serve_chaos.sh
 
 # Docs honesty gate: compile every fenced go block in README.md and
 # link-check README/docs/ROADMAP.

@@ -16,11 +16,23 @@
 //
 // Replication: N daemons can serve one corpus as a replica group.
 // Give each the same -peers list and its own -replica slot; campaign
-// ids are consistent-hashed onto replicas and requests for foreign
-// ids are proxied to the owner, so any replica answers any id:
+// ids are consistent-hashed onto a preference list of
+// -replication-factor replicas and requests for foreign ids are
+// proxied to the first live owner, so any replica answers any id.
+// With -replication-factor 2 or more every write lands on k owners
+// (peers that are down get it redelivered via a durable hinted-
+// handoff journal), so the group survives the loss of any single
+// replica with no data loss and no downtime:
 //
-//	lvserve -addr :8080 -data-dir d0 -replica 0/2 -peers http://host0:8080,http://host1:8080
-//	lvserve -addr :8080 -data-dir d1 -replica 1/2 -peers http://host0:8080,http://host1:8080
+//	lvserve -addr :8080 -data-dir d0 -replica 0/3 -replication-factor 2 -peers http://host0:8080,http://host1:8080,http://host2:8080
+//	lvserve -addr :8080 -data-dir d1 -replica 1/3 -replication-factor 2 -peers http://host0:8080,http://host1:8080,http://host2:8080
+//	lvserve -addr :8080 -data-dir d2 -replica 2/3 -replication-factor 2 -peers http://host0:8080,http://host1:8080,http://host2:8080
+//
+// Peer calls carry per-endpoint timeouts (-peer-timeout for
+// fit/predict forwards, replication writes and read-repair fetches;
+// -peer-collect-timeout for forwarded campaign uploads), bounded
+// retries with jittered backoff, and a per-peer circuit breaker whose
+// state /v1/healthz reports.
 //
 // Quickstart (collect two shards on different machines, merge and
 // predict through the daemon):
@@ -62,6 +74,9 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durable store directory (empty = in-memory only)")
 		replicaS  = flag.String("replica", "0/1", "this daemon's slot i/n in a replica group")
 		peersS    = flag.String("peers", "", "comma-separated base URLs of all n replicas, in slot order")
+		replFac   = flag.Int("replication-factor", 1, "replicas on each campaign's preference list (k; ≥ 2 survives a dead replica)")
+		peerTO    = flag.Duration("peer-timeout", 0, "per-call timeout for short peer endpoints: fit/predict forwards, replication writes, repair fetches (0 = 15s)")
+		collectTO = flag.Duration("peer-collect-timeout", 0, "per-call timeout for forwarded campaign uploads (0 = 2m)")
 	)
 	flag.Parse()
 
@@ -88,6 +103,10 @@ func main() {
 		ReplicaIndex:   replicaIndex,
 		ReplicaCount:   replicaCount,
 		Peers:          peers,
+
+		ReplicationFactor:  *replFac,
+		PeerTimeout:        *peerTO,
+		PeerCollectTimeout: *collectTO,
 	})
 	if err != nil {
 		fatal(err)
@@ -116,7 +135,13 @@ func main() {
 	log.Printf("lvserve: shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	// Stop accepting first, then drain the daemon itself: in-flight
+	// (and proxied) requests finish, a final hint delivery runs, and
+	// the store is fsync'd before the process exits.
 	if err := hs.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
 		fatal(err)
 	}
 }

@@ -130,21 +130,37 @@
 //
 // Several replicas can serve one corpus. Each gets the same -peers
 // list and its own -replica slot; campaign ids are consistent-hashed
-// onto replicas (each owns one contiguous range of the 64-bit id-hash
-// space) and requests for foreign ids are proxied to the owner, so
-// any replica answers any id exactly as a single instance would:
+// onto a preference list of -replication-factor replicas (the owning
+// range of the 64-bit id-hash space plus the next k-1 ranges) and
+// requests for foreign ids are proxied to the first live owner, so
+// any replica answers any id exactly as a single instance would.
+// With k ≥ 2 every write lands on k owners — peers that are down get
+// it redelivered from a durable hinted-handoff journal — and an owner
+// that lost its disk read-repairs from the others, so the group
+// survives the loss of any single replica with no data loss and no
+// downtime:
 //
-//	lvserve -addr :8080 -data-dir d0 -replica 0/2 -peers host0:8080,host1:8080
-//	lvserve -addr :8081 -data-dir d1 -replica 1/2 -peers host0:8080,host1:8080
+//	lvserve -addr :8080 -data-dir d0 -replica 0/3 -replication-factor 2 -peers host0:8080,host1:8080,host2:8080
+//	lvserve -addr :8081 -data-dir d1 -replica 1/3 -replication-factor 2 -peers host0:8080,host1:8080,host2:8080
+//	lvserve -addr :8082 -data-dir d2 -replica 2/3 -replication-factor 2 -peers host0:8080,host1:8080,host2:8080
+//
+// Peer calls carry per-endpoint timeouts (-peer-timeout,
+// -peer-collect-timeout), bounded retries with jittered backoff, and
+// a per-peer circuit breaker so a dead replica costs a fast failure
+// instead of a pinned handler.
 //
 // GET /v1/healthz reports the store behind a replica: resident
 // campaigns, stored bytes (the snapshot-log size when durable), the
-// replica slot ("0/2") and its hex shard_range, plus the replayed
-// campaign count and replay_ms from the last boot. The CI smoke
-// proves both properties on every push: a kill-and-restart pass that
-// must replay the log and answer byte-identically without re-upload,
-// and a two-replica pass that must answer every id identically to a
-// single instance through either replica.
+// replica slot ("0/3") and its hex shard_range, the replayed campaign
+// count and replay_ms from the last boot, plus the group's health —
+// the replication factor, the hinted-handoff backlog (hints: 0 means
+// converged) and every peer's breaker state. CI proves all of it on
+// every push: a kill-and-restart pass that must replay the log and
+// answer byte-identically without re-upload, a two-replica pass that
+// must answer every id identically to a single instance through
+// either replica, and a chaos drill (scripts/serve_chaos.sh) that
+// kill -9s one member of a loaded 3-replica k=2 group and demands
+// zero failed requests, zero lost campaigns and full convergence.
 //
 // # Layout
 //

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// errPeerDown is the fast-failure a tripped circuit breaker returns
+// without dialing: a dead peer costs one map lookup, not a pinned
+// goroutine waiting out a connect timeout.
+var errPeerDown = errors.New("serve: peer circuit open")
+
+// breaker states. closed = healthy traffic flows; open = the peer
+// failed breakerThreshold consecutive calls and is not dialed until
+// the cooldown elapses; half-open = the cooldown elapsed and exactly
+// one probe request is allowed through to test the peer.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerStates are the wire names healthz reports per peer.
+var breakerStates = [...]string{"closed", "open", "half-open"}
+
+// breaker is a per-peer circuit breaker: consecutive transport
+// failures trip it open, a cooldown later it half-opens for a single
+// probe, and one success resets it. Safe for concurrent use.
+type breaker struct {
+	threshold int           // consecutive failures that trip it
+	cooldown  time.Duration // open -> half-open delay
+
+	mu       sync.Mutex
+	state    int
+	failures int       // consecutive
+	openedAt time.Time // of the transition to open
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a request may be sent to the peer right now.
+// An open breaker whose cooldown has elapsed half-opens and admits
+// exactly one probe; further calls fail fast until the probe reports.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a completed call (any HTTP response counts — the
+// breaker guards transport health, not status codes) and closes the
+// breaker.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure records a transport failure. The threshold-th consecutive
+// failure — or any failed half-open probe — re-opens the breaker and
+// restarts the cooldown.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.probing = false
+	}
+}
+
+// Snapshot reports the breaker's state name and consecutive-failure
+// count for healthz.
+func (b *breaker) Snapshot() (state string, failures int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerStates[b.state], b.failures
+}
+
+// peerClient dials peer replicas with the failure handling the bare
+// 5-minute http.Client lacked: per-endpoint timeouts (callers pass
+// one per call), bounded retries with jittered exponential backoff on
+// transport errors, and a per-peer circuit breaker so a dead peer
+// fails fast instead of pinning a goroutine per request.
+type peerClient struct {
+	peers    []string // base URLs, indexed by replica; self entry unused
+	hc       *http.Client
+	retries  int           // additional attempts after the first
+	backoff  time.Duration // base delay before the first retry
+	breakers []*breaker
+}
+
+// Peer-client failure tuning. The breaker trips after 3 consecutive
+// transport failures and half-opens after 500ms — fast enough that a
+// kill -9'd replica costs a handful of connection-refused errors
+// before every peer routes around it, and a restarted one is back in
+// rotation within a second.
+const (
+	peerRetries          = 2
+	peerBackoffBase      = 50 * time.Millisecond
+	peerBreakerThreshold = 3
+	peerBreakerCooldown  = 500 * time.Millisecond
+)
+
+func newPeerClient(peers []string) *peerClient {
+	breakers := make([]*breaker, len(peers))
+	for i := range breakers {
+		breakers[i] = newBreaker(peerBreakerThreshold, peerBreakerCooldown)
+	}
+	return &peerClient{
+		peers: peers,
+		// No global Timeout: every call carries its own per-endpoint
+		// deadline via context.
+		hc:       &http.Client{},
+		retries:  peerRetries,
+		backoff:  peerBackoffBase,
+		breakers: breakers,
+	}
+}
+
+// do sends one request to a peer replica and returns whatever HTTP
+// response it produced (any status — proxying relays peer responses
+// verbatim; the breaker only judges transport health). Transport
+// errors are retried up to retries times with jittered exponential
+// backoff, each attempt under its own timeout; a parent-context
+// cancellation is returned as-is and not held against the peer.
+func (p *peerClient) do(ctx context.Context, peer int, timeout time.Duration, method, uri string, body []byte, header map[string]string) (*http.Response, error) {
+	br := p.breakers[peer]
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if !br.Allow() {
+			if lastErr != nil {
+				return nil, fmt.Errorf("replica %d: %w (last error: %v)", peer, errPeerDown, lastErr)
+			}
+			return nil, fmt.Errorf("replica %d: %w", peer, errPeerDown)
+		}
+		resp, err := p.attempt(ctx, peer, timeout, method, uri, body, header)
+		if err == nil {
+			br.Success()
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			// The caller went away; that says nothing about the peer.
+			return nil, ctx.Err()
+		}
+		br.Failure()
+		lastErr = err
+		if attempt >= p.retries {
+			return nil, fmt.Errorf("replica %d: %w", peer, lastErr)
+		}
+		// Jittered exponential backoff: uniform in [0.5, 1.5) of
+		// base·2^attempt, so racing retries against one struggling
+		// peer don't synchronize.
+		d := p.backoff << attempt
+		d = d/2 + time.Duration(rand.Int63n(int64(d)))
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// attempt runs one request under its own timeout.
+func (p *peerClient) attempt(ctx context.Context, peer int, timeout time.Duration, method, uri string, body []byte, header map[string]string) (*http.Response, error) {
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, p.peers[peer]+uri, rd)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// The response body outlives this call; tie the timeout's cancel
+	// to the body so reading it stays bounded and nothing leaks.
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelBody releases an attempt's timeout context when the response
+// body is closed.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// Snapshot reports every foreign peer's breaker state for healthz.
+// self's own slot is skipped (never dialed).
+func (p *peerClient) Snapshot(self int) []peerHealth {
+	var out []peerHealth
+	for i, br := range p.breakers {
+		if i == self {
+			continue
+		}
+		state, failures := br.Snapshot()
+		out = append(out, peerHealth{Replica: i, State: state, Failures: failures})
+	}
+	return out
+}

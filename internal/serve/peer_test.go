@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBreakerTripHalfOpenReset walks the breaker's whole state
+// machine: consecutive failures trip it, the cooldown admits exactly
+// one half-open probe, a failed probe re-opens it, a successful one
+// resets it.
+func TestBreakerTripHalfOpenReset(t *testing.T) {
+	const cooldown = 50 * time.Millisecond
+	b := newBreaker(3, cooldown)
+
+	if !b.Allow() {
+		t.Fatal("fresh breaker must allow")
+	}
+	b.Failure()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("breaker tripped before the threshold (2 failures < 3)")
+	}
+	b.Failure() // third consecutive failure: trips
+	if b.Allow() {
+		t.Fatal("breaker still allowing after the threshold-th failure")
+	}
+	if state, failures := b.Snapshot(); state != "open" || failures != 3 {
+		t.Fatalf("snapshot = (%q, %d), want (open, 3)", state, failures)
+	}
+
+	time.Sleep(cooldown + 20*time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but the half-open probe was refused")
+	}
+	if state, _ := b.Snapshot(); state != "half-open" {
+		t.Fatalf("state after cooldown = %q, want half-open", state)
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent half-open probe admitted; want exactly one")
+	}
+	b.Failure() // the probe failed: straight back to open
+	if b.Allow() {
+		t.Fatal("breaker allowing right after a failed probe")
+	}
+
+	time.Sleep(cooldown + 20*time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second half-open probe refused")
+	}
+	b.Success() // the probe landed: reset
+	if state, failures := b.Snapshot(); state != "closed" || failures != 0 {
+		t.Fatalf("snapshot after success = (%q, %d), want (closed, 0)", state, failures)
+	}
+	for i := 0; i < 5; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker must allow freely")
+		}
+	}
+}
+
+// TestBreakerSuccessResetsConsecutiveCount: failures only trip the
+// breaker when consecutive — any success in between starts over.
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b := newBreaker(3, time.Minute)
+	for i := 0; i < 10; i++ {
+		b.Failure()
+		b.Failure()
+		b.Success()
+	}
+	if !b.Allow() {
+		t.Fatal("interleaved successes must keep the breaker closed")
+	}
+	if state, failures := b.Snapshot(); state != "closed" || failures != 0 {
+		t.Fatalf("snapshot = (%q, %d), want (closed, 0)", state, failures)
+	}
+}
+
+// TestPeerClientFastFailure: once the breaker for a dead peer trips,
+// do() fails fast with errPeerDown instead of dialing again.
+func TestPeerClientFastFailure(t *testing.T) {
+	// 127.0.0.1:1 — reserved, nothing listens; connects fail instantly.
+	p := newPeerClient([]string{"http://127.0.0.1:1"})
+	ctx := context.Background()
+	_, err := p.do(ctx, 0, time.Second, "GET", "/v1/healthz", nil, nil)
+	if err == nil {
+		t.Fatal("dial to a dead peer succeeded")
+	}
+	// The first call burned through its retries (1 + peerRetries
+	// failures ≥ threshold), so the breaker is now open.
+	_, err = p.do(ctx, 0, time.Second, "GET", "/v1/healthz", nil, nil)
+	if !errors.Is(err, errPeerDown) {
+		t.Fatalf("second call error = %v, want errPeerDown fast failure", err)
+	}
+	snap := p.Snapshot(-1)
+	if len(snap) != 1 || snap[0].State != "open" || snap[0].Failures < peerBreakerThreshold {
+		t.Fatalf("snapshot = %+v, want an open breaker past the threshold", snap)
+	}
+}

@@ -1,0 +1,564 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lasvegas"
+)
+
+// --- chaos harness ------------------------------------------------
+//
+// group boots an n-replica group whose members can be killed and
+// restarted mid-test on stable addresses: listeners are reserved
+// first so the peer list is fixed, and a restarted replica rebinds
+// its old port and reopens its old data dir — the in-process
+// equivalent of the serve_chaos.sh kill -9 drill, minus the process
+// boundary (which scripts/serve_chaos.sh covers with real processes).
+type group struct {
+	t     *testing.T
+	cfg   Config // template; per-replica fields filled by start
+	n, k  int
+	dir   string // base data dir; "" = memory stores
+	peers []string
+	hs    []*http.Server
+	srv   []*Server
+}
+
+func newGroup(t *testing.T, n, k int, cfg Config) *group {
+	t.Helper()
+	g := &group{t: t, cfg: cfg, n: n, k: k, dir: cfg.DataDir,
+		hs: make([]*http.Server, n), srv: make([]*Server, n)}
+	listeners := make([]net.Listener, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		g.peers = append(g.peers, "http://"+l.Addr().String())
+	}
+	for i, l := range listeners {
+		g.start(i, l)
+	}
+	t.Cleanup(func() {
+		for i := range g.hs {
+			if g.hs[i] != nil {
+				g.hs[i].Close()
+			}
+			if g.srv[i] != nil {
+				g.srv[i].Close()
+			}
+		}
+	})
+	return g
+}
+
+// start boots replica i on listener l.
+func (g *group) start(i int, l net.Listener) {
+	g.t.Helper()
+	c := g.cfg
+	c.ReplicaIndex, c.ReplicaCount, c.Peers = i, g.n, g.peers
+	c.ReplicationFactor = g.k
+	if g.dir != "" {
+		c.DataDir = filepath.Join(g.dir, fmt.Sprintf("replica%d", i))
+	}
+	srv, err := New(c)
+	if err != nil {
+		g.t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(l)
+	g.hs[i], g.srv[i] = hs, srv
+}
+
+// kill takes replica i down: the listener and every open connection
+// close immediately, and in-flight requests die mid-air. The Server
+// is closed too (its data dir must be reopenable by restart).
+func (g *group) kill(i int) {
+	g.t.Helper()
+	g.hs[i].Close()
+	g.srv[i].Close()
+	g.hs[i], g.srv[i] = nil, nil
+}
+
+// restart reboots replica i on its original address and data dir.
+func (g *group) restart(i int) {
+	g.t.Helper()
+	addr := g.peers[i][len("http://"):]
+	var l net.Listener
+	var err error
+	// The old listener just closed; the port can take a moment to
+	// come free again.
+	for d := time.Millisecond; ; d *= 2 {
+		if l, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		if d > time.Second {
+			g.t.Fatalf("rebinding replica %d on %s: %v", i, addr, err)
+		}
+		time.Sleep(d)
+	}
+	g.start(i, l)
+}
+
+func (g *group) url(i int) string { return g.peers[i] }
+
+// health fetches replica i's parsed healthz.
+func (g *group) health(i int) healthResponse {
+	g.t.Helper()
+	resp, err := http.Get(g.url(i) + "/v1/healthz")
+	if err != nil {
+		g.t.Fatalf("healthz replica %d: %v", i, err)
+	}
+	defer resp.Body.Close()
+	var hr healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		g.t.Fatalf("healthz replica %d: %v", i, err)
+	}
+	return hr
+}
+
+// waitConverged polls every live replica's healthz until all hint
+// queues are empty.
+func (g *group) waitConverged(timeout time.Duration) {
+	g.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		depth := 0
+		for i := range g.srv {
+			if g.srv[i] != nil {
+				depth += g.health(i).Hints
+			}
+		}
+		if depth == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			g.t.Fatalf("hint queues still hold %d entries after %v", depth, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// do sends one request to replica i and returns status and body.
+func (g *group) do(i int, method, path string, body []byte) (int, []byte) {
+	g.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, g.url(i)+path, rd)
+	if err != nil {
+		g.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		g.t.Fatalf("%s %s via replica %d: %v", method, path, i, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		g.t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// synthCampaign builds the i-th deterministic synthetic campaign: 60
+// exponential draws, the shape the paper's estimators are built for,
+// serialized to canonical schema-v2 bytes.
+func synthCampaign(t *testing.T, i int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(7001 + i)))
+	iters := make([]float64, 60)
+	for j := range iters {
+		iters[j] = float64(int(rng.ExpFloat64()*500) + 1)
+	}
+	c := &lasvegas.Campaign{
+		Problem:    fmt.Sprintf("chaos-%d", i),
+		Runs:       len(iters),
+		Seed:       uint64(i + 1),
+		Iterations: iters,
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// uploadSynth uploads a synthetic campaign via replica i and returns
+// its id.
+func (g *group) uploadSynth(i int, body []byte) string {
+	g.t.Helper()
+	status, resp := g.do(i, "POST", "/v1/campaigns", body)
+	if status != http.StatusOK {
+		g.t.Fatalf("upload via replica %d: status %d, body %s", i, status, resp)
+	}
+	var cr campaignResponse
+	if err := json.Unmarshal(resp, &cr); err != nil {
+		g.t.Fatal(err)
+	}
+	return cr.ID
+}
+
+// --- tests --------------------------------------------------------
+
+// TestConfigPeerTimeoutDefaults locks the per-endpoint peer timeout
+// defaults and the replication-factor bounds.
+func TestConfigPeerTimeoutDefaults(t *testing.T) {
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.cfg.PeerTimeout != 15*time.Second {
+		t.Errorf("PeerTimeout default = %v, want 15s", srv.cfg.PeerTimeout)
+	}
+	if srv.cfg.PeerCollectTimeout != 2*time.Minute {
+		t.Errorf("PeerCollectTimeout default = %v, want 2m", srv.cfg.PeerCollectTimeout)
+	}
+	if srv.repl != 1 {
+		t.Errorf("replication factor default = %d, want 1", srv.repl)
+	}
+
+	if _, err := New(Config{
+		ReplicaCount: 2, Peers: []string{"http://a", "http://b"},
+		ReplicationFactor: 3,
+	}); err == nil {
+		t.Error("New accepted replication factor 3 in a 2-replica group")
+	}
+}
+
+// TestReplicatedWrite: with k = 2 in a 2-replica group an upload via
+// either replica lands on both, and fit answers are byte-identical no
+// matter which replica serves them.
+func TestReplicatedWrite(t *testing.T) {
+	g := newGroup(t, 2, 2, Config{})
+	body := synthCampaign(t, 0)
+	id := g.uploadSynth(0, body)
+
+	for i := 0; i < 2; i++ {
+		if hr := g.health(i); hr.Campaigns != 1 {
+			t.Errorf("replica %d holds %d campaigns, want the replicated copy", i, hr.Campaigns)
+		}
+		if hr := g.health(i); hr.ReplicationFactor != 2 {
+			t.Errorf("replica %d healthz replication_factor = %d, want 2", i, hr.ReplicationFactor)
+		}
+	}
+
+	// Re-upload via the other replica: same id, still one copy each.
+	if id2 := g.uploadSynth(1, body); id2 != id {
+		t.Fatalf("re-upload id %q, want %q", id2, id)
+	}
+	var answers [2][]byte
+	for i := range answers {
+		status, resp := g.do(i, "POST", "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, id)))
+		if status != http.StatusOK {
+			t.Fatalf("fit via replica %d: status %d, body %s", i, status, resp)
+		}
+		answers[i] = resp
+	}
+	if !bytes.Equal(answers[0], answers[1]) {
+		t.Errorf("fit answers diverge across replicas:\n%s\nvs\n%s", answers[0], answers[1])
+	}
+}
+
+// TestHintedHandoff: a write accepted while a peer owner is down is
+// journaled as a hint and redelivered when the peer returns — the
+// client never sees the outage, and the returned peer converges to a
+// byte-identical copy.
+func TestHintedHandoff(t *testing.T) {
+	g := newGroup(t, 2, 2, Config{DataDir: t.TempDir()})
+	g.kill(1)
+
+	// The write succeeds against the surviving owner alone.
+	body := synthCampaign(t, 1)
+	id := g.uploadSynth(0, body)
+	hr := g.health(0)
+	if hr.Hints != 1 {
+		t.Fatalf("healthz hints = %d after writing past a dead peer, want 1", hr.Hints)
+	}
+	// The dead peer's breaker is open (or about to be): the upload
+	// burned through its retries against a closed port.
+	if len(hr.Peers) != 1 || hr.Peers[0].Failures == 0 {
+		t.Errorf("healthz peers = %+v, want replica 1 with recorded failures", hr.Peers)
+	}
+
+	// The peer returns; the drainer redelivers and the queue empties.
+	g.restart(1)
+	g.waitConverged(15 * time.Second)
+	if got := g.health(1).Campaigns; got != 1 {
+		t.Fatalf("restarted replica holds %d campaigns after handoff, want 1", got)
+	}
+
+	// Both copies answer identically — replica 1 from its own store.
+	var answers [2][]byte
+	for i := range answers {
+		status, resp := g.do(i, "GET", "/v1/predict?id="+id+"&cores=4,16", nil)
+		if status != http.StatusOK {
+			t.Fatalf("predict via replica %d: status %d, body %s", i, status, resp)
+		}
+		answers[i] = resp
+	}
+	if !bytes.Equal(answers[0], answers[1]) {
+		t.Errorf("predict answers diverge after handoff:\n%s\nvs\n%s", answers[0], answers[1])
+	}
+}
+
+// TestHintsSurviveRestart: undelivered hints are journaled on disk —
+// a coordinator that shuts down with a backlog still owes (and
+// delivers) it after its own restart.
+func TestHintsSurviveRestart(t *testing.T) {
+	g := newGroup(t, 2, 2, Config{DataDir: t.TempDir()})
+	g.kill(1)
+	g.uploadSynth(0, synthCampaign(t, 2))
+	if got := g.health(0).Hints; got != 1 {
+		t.Fatalf("hints = %d, want 1", got)
+	}
+
+	// Restart the coordinator: the journal replays the pending hint.
+	g.kill(0)
+	g.restart(0)
+	if got := g.health(0).Hints; got != 1 {
+		t.Fatalf("hints after coordinator restart = %d, want the replayed 1", got)
+	}
+
+	// And it still drains once the peer returns.
+	g.restart(1)
+	g.waitConverged(15 * time.Second)
+	if got := g.health(1).Campaigns; got != 1 {
+		t.Errorf("peer holds %d campaigns after replayed handoff, want 1", got)
+	}
+}
+
+// TestReadRepair: an owner that lost its data dir repairs itself from
+// the other owners on first read — the copy count converges back to k
+// without any operator action.
+func TestReadRepair(t *testing.T) {
+	dir := t.TempDir()
+	g := newGroup(t, 2, 2, Config{DataDir: dir})
+	body := synthCampaign(t, 3)
+	id := g.uploadSynth(0, body)
+	if got := g.health(1).Campaigns; got != 1 {
+		t.Fatalf("replica 1 holds %d campaigns before the wipe, want 1", got)
+	}
+	_, canonical := g.do(0, "GET", "/v1/predict?id="+id+"&cores=8", nil)
+
+	// Replica 1 loses everything and comes back empty.
+	g.kill(1)
+	if err := os.RemoveAll(filepath.Join(dir, "replica1")); err != nil {
+		t.Fatal(err)
+	}
+	g.restart(1)
+	if got := g.health(1).Campaigns; got != 0 {
+		t.Fatalf("wiped replica holds %d campaigns, want 0", got)
+	}
+
+	// A read via the wiped owner repairs the copy and answers the
+	// exact bytes the healthy owner serves.
+	status, resp := g.do(1, "GET", "/v1/predict?id="+id+"&cores=8", nil)
+	if status != http.StatusOK {
+		t.Fatalf("predict via wiped replica: status %d, body %s", status, resp)
+	}
+	if !bytes.Equal(resp, canonical) {
+		t.Errorf("repaired predict differs:\n%s\nvs\n%s", resp, canonical)
+	}
+	if got := g.health(1).Campaigns; got != 1 {
+		t.Errorf("wiped replica holds %d campaigns after read-repair, want 1", got)
+	}
+}
+
+// TestGracefulShutdown: once Shutdown begins the handler refuses new
+// work with a 503, Close is idempotent, and the refusal never touches
+// the (already closed) store.
+func TestGracefulShutdown(t *testing.T) {
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	req, _ := http.NewRequest("GET", "/v1/healthz", nil)
+	rec := newRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.status != http.StatusServiceUnavailable {
+		t.Fatalf("request after shutdown: status %d, want 503", rec.status)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.body.Bytes(), &er); err != nil || er.Status != 503 {
+		t.Errorf("shutdown refusal body %s, want the uniform JSON error", rec.body.Bytes())
+	}
+}
+
+// newRecorder is a minimal ResponseWriter (httptest.NewRecorder
+// without the import churn — the test only needs status and body).
+type recorder struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder                    { return &recorder{status: 200, header: http.Header{}} }
+func (r *recorder) Header() http.Header         { return r.header }
+func (r *recorder) WriteHeader(s int)           { r.status = s }
+func (r *recorder) Write(b []byte) (int, error) { return r.body.Write(b) }
+
+// TestReplicaCrashDuringLoad is the in-process chaos drill: a
+// 3-replica k=2 group takes a mixed upload/fit/predict workload while
+// one replica is torn down mid-run and restarted later. The gate is
+// the ISSUE's: zero client-visible failures after retries, zero lost
+// campaigns, and a converged group whose members answer every id
+// byte-identically. Run under -race in CI.
+func TestReplicaCrashDuringLoad(t *testing.T) {
+	const (
+		replicas  = 3
+		campaigns = 6
+		workers   = 4
+		opsEach   = 36
+	)
+	g := newGroup(t, replicas, 2, Config{DataDir: t.TempDir()})
+
+	bodies := make([][]byte, campaigns)
+	ids := make([]string, campaigns)
+	for i := range bodies {
+		bodies[i] = synthCampaign(t, 100+i)
+		ids[i] = g.uploadSynth(i%replicas, bodies[i])
+	}
+
+	// One op with client-side retry across targets: transport errors
+	// and 5xx/503 rotate to the next replica; 422 (a fit every family
+	// rejects) is a valid, deterministic answer; 404 for an id we hold
+	// a 200 ack for would be a lost write and fails the run.
+	client := &http.Client{Timeout: 30 * time.Second}
+	doOp := func(start int, method, path string, body []byte) error {
+		var lastErr error
+		for attempt := 0; attempt < 12; attempt++ {
+			if attempt > 0 {
+				time.Sleep(50 * time.Millisecond)
+			}
+			var rd io.Reader
+			if body != nil {
+				rd = bytes.NewReader(body)
+			}
+			req, err := http.NewRequest(method, g.peers[(start+attempt)%replicas]+path, rd)
+			if err != nil {
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK,
+				resp.StatusCode == http.StatusUnprocessableEntity:
+				return nil
+			case resp.StatusCode >= http.StatusInternalServerError:
+				lastErr = fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, data)
+				continue
+			default:
+				return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, data)
+			}
+		}
+		return fmt.Errorf("retries exhausted: %w", lastErr)
+	}
+
+	var (
+		done     atomic.Int64
+		mu       sync.Mutex
+		failures []error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for op := 0; op < opsEach; op++ {
+				i := (w + op) % campaigns
+				var err error
+				switch op % 3 {
+				case 0:
+					err = doOp(w+op, "POST", "/v1/campaigns", bodies[i])
+				case 1:
+					err = doOp(w+op, "POST", "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, ids[i])))
+				default:
+					err = doOp(w+op, "GET", "/v1/predict?id="+ids[i]+"&cores=4,16&quantile=0.5", nil)
+				}
+				if err != nil {
+					mu.Lock()
+					failures = append(failures, fmt.Errorf("worker %d op %d: %w", w, op, err))
+					mu.Unlock()
+				}
+				done.Add(1)
+			}
+		}(w)
+	}
+
+	// The chaos: replica 1 dies a third of the way through the load
+	// and comes back two thirds in, on the same address and data dir.
+	total := int64(workers * opsEach)
+	waitOps := func(n int64) {
+		for done.Load() < n {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitOps(total / 3)
+	g.kill(1)
+	t.Logf("killed replica 1 after %d ops", done.Load())
+	waitOps(2 * total / 3)
+	g.restart(1)
+	t.Logf("restarted replica 1 after %d ops", done.Load())
+	wg.Wait()
+
+	for _, err := range failures {
+		t.Error(err)
+	}
+	if len(failures) > 0 {
+		t.Fatalf("%d of %d requests failed after retries", len(failures), total)
+	}
+
+	// Convergence: hint queues drain, every campaign ends up on
+	// exactly k owners, and all three replicas answer every id with
+	// the same bytes (the restarted one read-repairing if it must).
+	g.waitConverged(30 * time.Second)
+	copies := 0
+	for i := 0; i < replicas; i++ {
+		copies += g.health(i).Campaigns
+	}
+	if want := campaigns * 2; copies != want {
+		t.Errorf("group holds %d campaign copies, want %d (k=2 × %d campaigns)", copies, want, campaigns)
+	}
+	for _, id := range ids {
+		var first []byte
+		for i := 0; i < replicas; i++ {
+			status, resp := g.do(i, "GET", "/v1/predict?id="+id+"&cores=4,16&quantile=0.5", nil)
+			if status != http.StatusOK && status != http.StatusUnprocessableEntity {
+				t.Fatalf("post-chaos predict %s via replica %d: status %d, body %s", id, i, status, resp)
+			}
+			if first == nil {
+				first = resp
+			} else if !bytes.Equal(first, resp) {
+				t.Errorf("replica %d answers %s differently:\n%s\nvs\n%s", i, id, resp, first)
+			}
+		}
+	}
+}

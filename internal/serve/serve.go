@@ -34,11 +34,27 @@
 //
 // Several replicas can serve one corpus: give each the same
 // Config.Peers list and its own Config.ReplicaIndex out of
-// Config.ReplicaCount. Campaign ids are consistent-hashed onto
-// replicas (store.Owner); each replica stores and fits only the hash
-// range it owns and transparently proxies /v1/campaigns, /v1/fit and
-// /v1/predict requests for foreign ids to the owning peer, so every
-// replica answers every id exactly as a single instance would.
+// Config.ReplicaCount. Campaign ids are consistent-hashed onto a
+// preference list of Config.ReplicationFactor replicas
+// (store.Owners: the owning hash range plus the next k-1 ranges);
+// writes fan out to every owner — acknowledged after the local fsync
+// plus best-effort peer acks, with failed peer writes queued in a
+// hinted-handoff journal and redelivered when the peer returns — and
+// reads are served by the first live owner, with read-repair on a
+// local miss (ids are content hashes, so "diverged" can only mean
+// "missing" and repair is a re-send). With k ≥ 2 the group survives
+// the loss of any single replica with no data loss and no
+// user-visible downtime.
+//
+// Peer traffic flows through a dedicated client rather than a bare
+// http.Client: per-endpoint timeouts (Config.PeerTimeout for
+// fit/predict forwards, replication writes and repair fetches;
+// Config.PeerCollectTimeout for campaign-upload forwards), bounded
+// retries with jittered exponential backoff on transport errors, and
+// a per-peer circuit breaker (tripped after consecutive failures,
+// half-open probes after a cooldown) so a dead peer costs one fast
+// failure instead of a pinned goroutine. GET /v1/healthz exposes each
+// peer's breaker state and the hint-queue depth.
 //
 // Censored campaigns — the cheap, budgeted kind `lvseq -maxiter`
 // produces — are first-class: the daemon fits them with the
@@ -69,9 +85,11 @@ import (
 	"math"
 	"net/http"
 	"net/url"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"lasvegas"
@@ -125,6 +143,22 @@ type Config struct {
 	// foreign entries) when ReplicaCount > 1; the entry at
 	// ReplicaIndex is never dialed and may be empty.
 	Peers []string
+	// ReplicationFactor is k, the number of replicas on each
+	// campaign's preference list (store.Owners): every write lands on
+	// all k owners, every read is served by the first live one, so
+	// k ≥ 2 makes the group survive any single replica's death with
+	// no data loss. Default 1 (each id has exactly one owner); must
+	// not exceed ReplicaCount.
+	ReplicationFactor int
+	// PeerTimeout bounds one peer call on the short endpoints —
+	// /v1/fit and /v1/predict forwards, replication writes and
+	// read-repair fetches (default 15s).
+	PeerTimeout time.Duration
+	// PeerCollectTimeout bounds one forwarded /v1/campaigns upload,
+	// whose bodies (merged shard sets, server-side collections) can
+	// be orders of magnitude larger than a prediction query
+	// (default 2m).
+	PeerCollectTimeout time.Duration
 }
 
 // Server is the prediction daemon: a campaign/model store (in-memory
@@ -137,8 +171,15 @@ type Server struct {
 	gate     store.Gate // bounds concurrent fit/collect work
 	replicas int
 	self     int
-	peers    []string
-	client   *http.Client // dials peer replicas
+	repl     int         // replication factor k, clamped to replicas
+	peerc    *peerClient // dials peer replicas (breaker + retry/backoff)
+	hints    *store.Hints
+
+	closing   atomic.Bool
+	inflight  atomic.Int64  // requests currently inside Handler
+	drainKick chan struct{} // nudges the hint drainer after an enqueue
+	drainStop chan struct{} // closed by Shutdown
+	drainDone chan struct{} // closed when the drainer exits
 }
 
 // New returns a Server with cfg applied over the defaults. The error
@@ -211,46 +252,117 @@ func New(cfg Config) (*Server, error) {
 	if explicitFamilies {
 		opts = append(opts, lasvegas.WithFamilies(cfg.Families...))
 	}
+	repl := cfg.ReplicationFactor
+	if repl < 1 {
+		repl = 1
+	}
+	if repl > replicas {
+		return nil, fmt.Errorf("serve: replication factor %d exceeds the %d-replica group", repl, replicas)
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 15 * time.Second
+	}
+	if cfg.PeerCollectTimeout <= 0 {
+		cfg.PeerCollectTimeout = 2 * time.Minute
+	}
 	var st store.Store
+	var hints *store.Hints
 	if cfg.DataDir != "" {
 		var err error
 		if st, err = store.Open(cfg.DataDir, cfg.MaxCampaigns); err != nil {
 			return nil, err
 		}
+		// The hint journal shares the data dir: a replica that crashes
+		// with undelivered hints still owes them after a restart.
+		if hints, err = store.OpenHints(filepath.Join(cfg.DataDir, "hints.log")); err != nil {
+			st.Close()
+			return nil, err
+		}
 	} else {
 		st = store.NewMemory(cfg.MaxCampaigns)
+		hints = store.NewHints()
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		pred:     lasvegas.New(opts...),
 		store:    st,
 		gate:     store.NewGate(workers),
 		replicas: replicas,
 		self:     cfg.ReplicaIndex,
-		peers:    peers,
-		client:   &http.Client{Timeout: peerTimeout},
-	}, nil
+		repl:     repl,
+		peerc:    newPeerClient(peers),
+		hints:    hints,
+	}
+	if replicas > 1 {
+		s.drainKick = make(chan struct{}, 1)
+		s.drainStop = make(chan struct{})
+		s.drainDone = make(chan struct{})
+		go s.drainHints()
+	}
+	return s, nil
 }
 
-// peerTimeout bounds one proxied request to a peer replica: generous
-// enough for the slowest legitimate owner-side work (a near-cap
-// server-side collection), but finite, so a wedged peer fails fast-ish
-// with a 502 instead of pinning forwarding goroutines forever.
-const peerTimeout = 5 * time.Minute
+// Close shuts the Server down with a default 5-second deadline; see
+// Shutdown.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
 
-// Close releases the Server's store (flushing and closing the
-// snapshot log of a durable store). The handlers must not be used
-// afterwards.
-func (s *Server) Close() error { return s.store.Close() }
+// Shutdown gracefully stops the Server: new requests are refused
+// (503), in-flight ones — including proxied peer requests — are
+// drained, a final delivery of the hint queue is attempted, and the
+// store is fsync'd and closed, all bounded by ctx. Undelivered hints
+// stay in the durable journal for the next boot. Idempotent; the
+// handlers must not be used afterwards. (The HTTP listener itself is
+// the caller's: stop accepting with http.Server.Shutdown first.)
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.closing.Swap(true) {
+		return nil
+	}
+	if s.drainStop != nil {
+		close(s.drainStop)
+		<-s.drainDone
+	}
+	// Drain in-flight handlers within the deadline.
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: shutdown: %d requests still in flight: %w", s.inflight.Load(), ctx.Err())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// One last chance to hand queued hints to returned peers; whatever
+	// fails stays journaled.
+	if s.hints.Depth() > 0 {
+		s.flushHints(ctx)
+	}
+	herr := s.hints.Close()
+	serr := s.store.Close() // fsyncs the snapshot log
+	return errors.Join(serr, herr)
+}
 
-// Handler returns the daemon's http.Handler.
+// Handler returns the daemon's http.Handler. The wrapper counts
+// in-flight requests so Shutdown can drain them, and refuses new work
+// once shutdown has begun.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/campaigns", s.handleCampaigns)
 	mux.HandleFunc("POST /v1/fit", s.handleFit)
 	mux.HandleFunc("GET /v1/predict", s.handlePredict)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	return mux
+	mux.HandleFunc("GET /v1/internal/campaign", s.handleInternalCampaign)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.closing.Load() {
+			status := http.StatusServiceUnavailable // 503
+			s.writeJSON(w, status, errorResponse{Error: "serve: shutting down", Status: status})
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // --- wire types ---------------------------------------------------
@@ -357,6 +469,25 @@ type healthResponse struct {
 	// boot; ReplayMillis is how long the recovery took.
 	Replayed     int     `json:"replayed"`
 	ReplayMillis float64 `json:"replay_ms"`
+	// ReplicationFactor is k: how many replicas hold each campaign.
+	ReplicationFactor int `json:"replication_factor"`
+	// Hints is the hinted-handoff backlog: replicated writes queued
+	// for down peers, awaiting redelivery. 0 means the group has
+	// converged.
+	Hints int `json:"hints"`
+	// Peers reports each foreign peer's circuit-breaker state, so an
+	// operator can see which replicas this one considers dead.
+	Peers []peerHealth `json:"peers,omitempty"`
+}
+
+// peerHealth is one peer's circuit-breaker state on the healthz wire.
+type peerHealth struct {
+	Replica int `json:"replica"`
+	// State is "closed" (healthy), "open" (dead, not dialed) or
+	// "half-open" (probing).
+	State string `json:"state"`
+	// Failures counts consecutive transport failures.
+	Failures int `json:"failures"`
 }
 
 // --- handlers -----------------------------------------------------
@@ -412,14 +543,28 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		Budget:   c.Budget,
 		Merged:   merged,
 	}
-	// A campaign lives on the replica its id hashes to. Merge and
-	// collect already ran here, so the owner gets the finished
-	// campaign's canonical bytes as a plain upload (never a second
-	// solver run); on success this replica answers exactly as a
-	// single instance would — it alone knows the merge/collect
-	// detail — while owner-side failures are relayed verbatim.
-	if owner := store.Owner(id, s.replicas); owner != s.self {
-		pr, ok := s.proxy(w, r, owner, canonical)
+	// A replication write from a peer owner (or a hint redelivery):
+	// store locally, never fan out or forward again — the sender is
+	// the owner coordinating this write.
+	if r.Header.Get(replicateHeader) != "" {
+		if _, err := s.store.AddEncoded(id, canonical, c); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// A campaign lives on every replica of its preference list. Merge
+	// and collect already ran here, so owners only ever exchange the
+	// finished campaign's canonical bytes (never a second solver run).
+	owners := store.Owners(id, s.replicas, s.repl)
+	if !ownedBy(owners, s.self) {
+		// Not an owner: hand the finished bytes to the first live
+		// owner, which stores locally and fans out to the rest. This
+		// replica still answers with its own response — it alone knows
+		// the merge/collect detail — while owner-side failures are
+		// relayed verbatim.
+		pr, ok := s.forwardToOwners(w, r, owners, canonical, s.cfg.PeerCollectTimeout)
 		if !ok {
 			return
 		}
@@ -432,11 +577,62 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	// This replica owns the id: the write is acknowledged once the
+	// local store has fsync'd it, with best-effort synchronous acks
+	// from the other owners — any peer that can't take its copy right
+	// now gets a durable hint instead, so the ack never waits on a
+	// dead replica and the copy is never forgotten.
 	if _, err := s.store.AddEncoded(id, canonical, c); err != nil {
 		s.writeError(w, err)
 		return
 	}
+	s.replicate(r.Context(), owners, id, canonical)
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ownedBy reports whether replica self is on the preference list.
+func ownedBy(owners []int, self int) bool {
+	for _, o := range owners {
+		if o == self {
+			return true
+		}
+	}
+	return false
+}
+
+// replicate sends a just-accepted write to every other owner on the
+// preference list, journaling a hint for each peer that fails — the
+// write is already locally durable, so a failed peer costs a hint,
+// never the upload.
+func (s *Server) replicate(ctx context.Context, owners []int, id string, canonical []byte) {
+	for _, o := range owners {
+		if o == s.self {
+			continue
+		}
+		if err := s.sendReplicate(ctx, o, canonical); err != nil {
+			// Enqueue can only fail on a broken hint log; the write is
+			// safe locally either way, so replication degrades to
+			// read-repair rather than failing the upload.
+			s.hints.Enqueue(o, id, canonical)
+			s.kickDrain()
+		}
+	}
+}
+
+// sendReplicate delivers one replication write (marked so the
+// receiver stores it without fanning out again) and demands a 200.
+func (s *Server) sendReplicate(ctx context.Context, peer int, canonical []byte) error {
+	resp, err := s.peerc.do(ctx, peer, s.cfg.PeerTimeout, "POST", "/v1/campaigns", canonical,
+		map[string]string{replicateHeader: "1"})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: replica %d: replication write returned %d", peer, resp.StatusCode)
+	}
+	return nil
 }
 
 // mergeShards decodes an array of campaign shards and pools them.
@@ -499,11 +695,12 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errors.New(`serve: fit request: want {"id": "<campaign id>"}`))
 		return
 	}
-	if owner := store.Owner(req.ID, s.replicas); owner != s.self {
-		s.forward(w, r, owner, body)
+	owners := store.Owners(req.ID, s.replicas, s.repl)
+	if !ownedBy(owners, s.self) {
+		s.forwardRead(w, r, owners, body)
 		return
 	}
-	e, err := s.store.Get(req.ID)
+	e, err := s.getOrRepair(r.Context(), req.ID, owners)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -540,11 +737,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errors.New("serve: predict: missing id parameter"))
 		return
 	}
-	if owner := store.Owner(id, s.replicas); owner != s.self {
-		s.forward(w, r, owner, nil)
+	owners := store.Owners(id, s.replicas, s.repl)
+	if !ownedBy(owners, s.self) {
+		s.forwardRead(w, r, owners, nil)
 		return
 	}
-	e, err := s.store.Get(id)
+	e, err := s.getOrRepair(r.Context(), id, owners)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -606,20 +804,49 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz reports liveness plus this replica's store stats.
+// handleHealthz reports liveness plus this replica's store stats,
+// hint backlog and per-peer breaker states.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.store.Stats()
 	lo, hi := store.ShardRange(s.self, s.replicas)
 	s.writeJSON(w, http.StatusOK, healthResponse{
-		Status:       "ok",
-		Campaigns:    st.Campaigns,
-		Bytes:        st.Bytes,
-		Durable:      s.cfg.DataDir != "",
-		Replica:      fmt.Sprintf("%d/%d", s.self, s.replicas),
-		ShardRange:   fmt.Sprintf("%016x-%016x", lo, hi),
-		Replayed:     st.Replayed,
-		ReplayMillis: float64(st.ReplayDuration) / 1e6,
+		Status:            "ok",
+		Campaigns:         st.Campaigns,
+		Bytes:             st.Bytes,
+		Durable:           s.cfg.DataDir != "",
+		Replica:           fmt.Sprintf("%d/%d", s.self, s.replicas),
+		ShardRange:        fmt.Sprintf("%016x-%016x", lo, hi),
+		Replayed:          st.Replayed,
+		ReplayMillis:      float64(st.ReplayDuration) / 1e6,
+		ReplicationFactor: s.repl,
+		Hints:             s.hints.Depth(),
+		Peers:             s.peerc.Snapshot(s.self),
 	})
+}
+
+// handleInternalCampaign serves this replica's local copy of a
+// campaign's canonical bytes — the peer-to-peer fetch behind
+// read-repair. Strictly local: a miss is a 404 here even when a peer
+// owner has the campaign, because the caller *is* a peer owner
+// working through its preference list.
+func (s *Server) handleInternalCampaign(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		s.writeError(w, errors.New("serve: internal campaign fetch: missing id parameter"))
+		return
+	}
+	e, err := s.store.Get(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	_, canonical, err := store.Encode(e.Campaign)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(canonical)
 }
 
 // --- plumbing -----------------------------------------------------
@@ -652,12 +879,18 @@ func fitCampaign(pred *lasvegas.Predictor, c *lasvegas.Campaign) ([]lasvegas.Can
 // disagrees on its own shape, and bouncing it again would loop.
 const forwardHeader = "Lvserve-Forwarded"
 
-// forward proxies the request to the replica that owns the campaign
-// id, replaying body (nil for GETs), and copies the peer's response
-// back verbatim — so a client talking to any replica sees exactly the
-// bytes the owner produced.
-func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner int, body []byte) {
-	resp, ok := s.proxy(w, r, owner, body)
+// replicateHeader marks a replication write from a peer owner (or a
+// hint redelivery): store locally, never fan out or forward again.
+const replicateHeader = "Lvserve-Replicate"
+
+// forwardRead proxies a read to the first live owner on the
+// preference list and copies its response back verbatim — so a client
+// talking to any replica sees exactly the bytes an owner produced. An
+// owner's 404 is held while later owners are tried (a freshly wiped
+// replica may answer before repairing itself); any other response is
+// authoritative.
+func (s *Server) forwardRead(w http.ResponseWriter, r *http.Request, owners []int, body []byte) {
+	resp, ok := s.forwardToOwners(w, r, owners, body, s.cfg.PeerTimeout)
 	if !ok {
 		return
 	}
@@ -665,12 +898,13 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner int, body
 	s.relay(w, resp)
 }
 
-// proxy sends the request's method and URI, with body, to the owning
-// replica and returns its response. The two routing failure modes are
-// answered directly on w (ok = false): a request that was already
-// forwarded once means the replica group disagrees on its own shape
-// (421 — never bounce again), and an unreachable peer is a 502.
-func (s *Server) proxy(w http.ResponseWriter, r *http.Request, owner int, body []byte) (resp *http.Response, ok bool) {
+// forwardToOwners sends the request's method and URI, with body, down
+// the preference list until an owner answers, and returns that
+// response. The routing failure modes are answered directly on w
+// (ok = false): a request that was already forwarded once means the
+// replica group disagrees on its own shape (421 — never bounce
+// again), and a list with no live owner is a 502.
+func (s *Server) forwardToOwners(w http.ResponseWriter, r *http.Request, owners []int, body []byte, timeout time.Duration) (resp *http.Response, ok bool) {
 	if r.Header.Get(forwardHeader) != "" {
 		status := http.StatusMisdirectedRequest // 421
 		s.writeJSON(w, status, errorResponse{
@@ -679,27 +913,163 @@ func (s *Server) proxy(w http.ResponseWriter, r *http.Request, owner int, body [
 		})
 		return nil, false
 	}
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
+	hdr := map[string]string{forwardHeader: "1"}
+	var notFound *http.Response // an owner's 404, kept as the fallback answer
+	var lastErr error
+	for _, o := range owners {
+		pr, err := s.peerc.do(r.Context(), o, timeout, r.Method, r.URL.RequestURI(), body, hdr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if pr.StatusCode == http.StatusNotFound && len(owners) > 1 {
+			// This owner doesn't have the id — another owner still
+			// might (it may have missed the write or lost its data
+			// dir). Keep the 404 in case they all agree.
+			if notFound != nil {
+				notFound.Body.Close()
+			}
+			notFound = pr
+			continue
+		}
+		if notFound != nil {
+			notFound.Body.Close()
+		}
+		return pr, true
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, s.peers[owner]+r.URL.RequestURI(), rd)
+	if notFound != nil {
+		return notFound, true
+	}
+	status := http.StatusBadGateway // 502
+	s.writeJSON(w, status, errorResponse{
+		Error:  fmt.Sprintf("serve: no live owner among replicas %v: %v", owners, lastErr),
+		Status: status,
+	})
+	return nil, false
+}
+
+// getOrRepair looks a campaign up in the local store and, when this
+// owner is missing it (a wiped data dir, a write it was down for),
+// read-repairs from the other owners on the preference list: ids are
+// content hashes, so divergence can only be absence and repair is a
+// verified re-send, stored through the normal (fsync'd) add path.
+func (s *Server) getOrRepair(ctx context.Context, id string, owners []int) (*store.Entry, error) {
+	e, err := s.store.Get(id)
+	if err == nil || s.repl < 2 || !errors.Is(err, store.ErrUnknownCampaign) {
+		return e, err
+	}
+	for _, o := range owners {
+		if o == s.self {
+			continue
+		}
+		if e := s.fetchFromPeer(ctx, o, id); e != nil {
+			return e, nil
+		}
+	}
+	return nil, err
+}
+
+// fetchFromPeer retrieves one campaign's canonical bytes from a peer
+// owner, verifies they hash to the requested id, and stores them
+// locally (the repair). Any failure returns nil — the caller just
+// tries the next owner.
+func (s *Server) fetchFromPeer(ctx context.Context, peer int, id string) *store.Entry {
+	resp, err := s.peerc.do(ctx, peer, s.cfg.PeerTimeout, "GET",
+		"/v1/internal/campaign?id="+url.QueryEscape(id), nil, nil)
 	if err != nil {
-		s.writeError(w, fmt.Errorf("serve: forwarding to replica %d: %w", owner, err))
-		return nil, false
+		return nil
 	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(forwardHeader, "1")
-	resp, err = s.client.Do(req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
-		status := http.StatusBadGateway // 502
-		s.writeJSON(w, status, errorResponse{
-			Error:  fmt.Sprintf("serve: replica %d unreachable: %v", owner, err),
-			Status: status,
-		})
-		return nil, false
+		return nil
 	}
-	return resp, true
+	c := &lasvegas.Campaign{}
+	if err := json.Unmarshal(data, c); err != nil {
+		return nil
+	}
+	rid, canonical, err := store.Encode(c)
+	if err != nil || rid != id {
+		return nil // a peer serving bytes that don't hash to the id is corrupt
+	}
+	e, err := s.store.AddEncoded(id, canonical, c)
+	if err != nil {
+		return nil
+	}
+	return e
+}
+
+// kickDrain nudges the hint drainer without blocking.
+func (s *Server) kickDrain() {
+	if s.drainKick == nil {
+		return
+	}
+	select {
+	case s.drainKick <- struct{}{}:
+	default:
+	}
+}
+
+// Hint-drain pacing: redelivery retries back off exponentially from
+// hintRetryBase to hintRetryMax while a peer stays dead, so a
+// restarted replica converges within a few seconds without the
+// drainer hammering a down one.
+const (
+	hintRetryBase = 250 * time.Millisecond
+	hintRetryMax  = 5 * time.Second
+)
+
+// drainHints is the background redelivery loop: whenever hints are
+// queued it walks each owed peer's FIFO, re-sending replication
+// writes until the peer refuses again.
+func (s *Server) drainHints() {
+	defer close(s.drainDone)
+	delay := hintRetryBase
+	for {
+		select {
+		case <-s.drainStop:
+			return
+		case <-s.drainKick:
+			delay = hintRetryBase
+		case <-time.After(delay):
+		}
+		if s.hints.Depth() == 0 {
+			delay = hintRetryMax // idle; wake cheaply until kicked
+			continue
+		}
+		if s.flushHints(context.Background()) {
+			delay = hintRetryBase
+		} else if delay *= 2; delay > hintRetryMax {
+			delay = hintRetryMax
+		}
+	}
+}
+
+// flushHints attempts to deliver every queued hint, acking the ones
+// that land; it reports whether the journal drained empty. Redelivery
+// is idempotent — hints carry canonical bytes whose ids are content
+// hashes, so a peer that already has the campaign just dedups.
+func (s *Server) flushHints(ctx context.Context) bool {
+	for _, peer := range s.hints.Peers() {
+		for {
+			h, ok := s.hints.Next(peer)
+			if !ok {
+				break
+			}
+			if ctx.Err() != nil {
+				return false
+			}
+			if err := s.sendReplicate(ctx, peer, h.Data); err != nil {
+				break // still down; the next pass retries
+			}
+			s.hints.Ack(peer, h.ID)
+		}
+	}
+	return s.hints.Depth() == 0
 }
 
 // relay copies a peer's response back verbatim.

@@ -19,9 +19,15 @@
 //
 // The package also owns the replica-routing arithmetic: Owner maps a
 // campaign id onto one of n replicas by partitioning the 64-bit hash
-// space into contiguous ranges (see Owner, ShardRange), which is what
-// lets several lvserve processes serve one corpus with each campaign
-// stored — and fitted — on exactly one of them.
+// space into contiguous ranges (see Owner, ShardRange), and Owners
+// generalizes that into a k-entry preference list (the owning range
+// plus the next k-1 ranges around the ring), which is what lets
+// several lvserve processes serve one corpus with each campaign
+// stored — and fitted — on k of them. Hints is the hinted-handoff
+// journal that rides along: a durable queue of replicated writes
+// destined for a peer that was down when the write was accepted,
+// drained (idempotently — ids are content hashes, so redelivery
+// dedups) when the peer returns.
 package store
 
 import (
@@ -126,6 +132,32 @@ func Owner(id string, replicas int) int {
 	h := fnv.New64a()
 	h.Write([]byte(id))
 	return int(h.Sum64() / rangeWidth(replicas))
+}
+
+// Owners generalizes Owner into a preference list: the replica whose
+// hash range owns id, followed by the replicas owning the next k-1
+// ranges around the ring (wrapping past replica n-1 back to 0). The
+// serve layer writes a campaign to every owner on the list and reads
+// it from the first live one, so losing any single replica loses no
+// id as long as k ≥ 2. k is clamped to [1, replicas]; like Owner, the
+// function is pure, so every replica computes the same list without
+// coordination.
+func Owners(id string, replicas, k int) []int {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > replicas {
+		k = replicas
+	}
+	owners := make([]int, k)
+	first := Owner(id, replicas)
+	for i := range owners {
+		owners[i] = (first + i) % replicas
+	}
+	return owners
 }
 
 // ShardRange returns the half-open [lo, hi] bounds of the hash range

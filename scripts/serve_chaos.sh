@@ -1,0 +1,142 @@
+#!/bin/sh
+# Chaos drill for the lvserve replica group: boot three replicas with
+# -replication-factor 2, run the loadgen mixed workload against all of
+# them, kill -9 one replica a third of the way through, restart it at
+# two thirds, and gate on the group's availability contract —
+#
+#   * loadgen exits 0: zero failed requests after client-side retries
+#     and the p99 budget holds;
+#   * loadgen -verify exits 0: every hint queue drains, every campaign
+#     re-uploads to its stable content id (zero lost campaigns), and
+#     all three replicas answer every fit/predict byte-identically —
+#     the restarted replica converged.
+#
+#   scripts/serve_chaos.sh [port]
+#
+# Uses three consecutive ports starting at [port]. Env knobs (the CI
+# run is small; `make loadgen` turns them up):
+#
+#   CHAOS_DURATION     load duration            (default 12s)
+#   CHAOS_CAMPAIGNS    synthetic working set    (default 8)
+#   CHAOS_CONCURRENCY  loadgen workers          (default 6)
+#   CHAOS_P99          p99 latency budget       (default 5s)
+set -eu
+
+port="${1:-18090}"
+duration="${CHAOS_DURATION:-12s}"
+campaigns="${CHAOS_CAMPAIGNS:-8}"
+concurrency="${CHAOS_CONCURRENCY:-6}"
+p99="${CHAOS_P99:-5s}"
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+pid0=""
+pid1=""
+pid2=""
+loadpid=""
+
+cleanup() {
+    status=$?
+    for p in "$pid0" "$pid1" "$pid2" "$loadpid"; do
+        if [ -n "$p" ]; then
+            kill "$p" 2>/dev/null || true
+            wait "$p" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$tmp"
+    exit $status
+}
+trap cleanup EXIT INT TERM
+
+echo "== building lvserve and loadgen"
+go build -o "$tmp/lvserve" ./cmd/lvserve
+go build -o "$tmp/loadgen" ./scripts/loadgen
+
+p0=$port
+p1=$((port + 1))
+p2=$((port + 2))
+peers="http://127.0.0.1:$p0,http://127.0.0.1:$p1,http://127.0.0.1:$p2"
+
+# start_replica <slot> — boots replica <slot>/3 on its port with its
+# own data dir; records the pid in $pid<slot>.
+start_replica() {
+    i="$1"
+    eval "p=\$p$i"
+    "$tmp/lvserve" -addr "127.0.0.1:$p" -data-dir "$tmp/data$i" \
+        -replica "$i/3" -replication-factor 2 -peers "$peers" \
+        >>"$tmp/replica$i.log" 2>&1 &
+    eval "pid$i=$!"
+}
+
+wait_healthy() {
+    i=0
+    until curl -fsS "$1/v1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "replica at $1 did not become healthy; log:" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+echo "== booting 3 replicas, k=2"
+start_replica 0
+start_replica 1
+start_replica 2
+wait_healthy "http://127.0.0.1:$p0" "$tmp/replica0.log"
+wait_healthy "http://127.0.0.1:$p1" "$tmp/replica1.log"
+wait_healthy "http://127.0.0.1:$p2" "$tmp/replica2.log"
+curl -fsS "http://127.0.0.1:$p0/v1/healthz" | jq -e '
+    .replication_factor == 2 and .hints == 0 and (.peers | length) == 2
+' >/dev/null
+
+echo "== loadgen: $duration of mixed load, $concurrency workers, $campaigns campaigns"
+"$tmp/loadgen" -targets "$peers" -campaigns "$campaigns" \
+    -concurrency "$concurrency" -duration "$duration" -p99 "$p99" \
+    >"$tmp/loadgen.json" 2>"$tmp/loadgen.err" &
+loadpid=$!
+
+# Sleep fractions of the load window; POSIX sh lacks float math, so
+# the thirds come from the duration's numeric seconds.
+secs="${duration%s}"
+third=$((secs / 3))
+[ "$third" -ge 1 ] || third=1
+
+sleep "$third"
+echo "== chaos: kill -9 replica 1 (survivors must absorb the load)"
+kill -9 "$pid1"
+wait "$pid1" 2>/dev/null || true
+pid1=""
+
+sleep "$third"
+echo "== chaos: restarting replica 1 on its old data dir"
+start_replica 1
+wait_healthy "http://127.0.0.1:$p1" "$tmp/replica1.log"
+
+echo "== waiting for loadgen"
+if ! wait "$loadpid"; then
+    loadpid=""
+    echo "loadgen failed:" >&2
+    cat "$tmp/loadgen.json" "$tmp/loadgen.err" >&2
+    exit 1
+fi
+loadpid=""
+cat "$tmp/loadgen.json"
+
+# The kill must actually have been felt mid-load — a drill whose
+# window missed the workload proves nothing.
+jq -e '.requests > 0' "$tmp/loadgen.json" >/dev/null
+
+echo "== verify: convergence, zero lost campaigns, byte-identical answers"
+"$tmp/loadgen" -targets "$peers" -campaigns "$campaigns" \
+    -verify -converge-timeout 60s >"$tmp/verify.json"
+cat "$tmp/verify.json"
+
+echo "== restarted replica replayed its log and drained to zero hints"
+curl -fsS "http://127.0.0.1:$p1/v1/healthz" | jq -e '
+    .durable == true and .hints == 0 and .campaigns > 0
+' >/dev/null
+
+echo "serve chaos: OK"

@@ -80,7 +80,11 @@ pipeline() {
     pass="$1"
 
     echo "== ($pass) healthz"
-    curl -fsS "$base/v1/healthz" | jq -e '.status == "ok"' >/dev/null
+    # A single instance: k = 1, no hint backlog, no peers to report.
+    curl -fsS "$base/v1/healthz" | jq -e '
+        .status == "ok" and .replication_factor == 1 and .hints == 0
+        and (.peers == null or (.peers | length) == 0)
+    ' >/dev/null
 
     echo "== ($pass) upload campaign"
     curl -fsS -d @"$fixture" "$base/v1/campaigns" >"$tmp/upload.$pass"
@@ -223,6 +227,16 @@ c2="$(curl -fsS "$base2/v1/healthz" | jq .campaigns)"
 }
 curl -fsS "$base1/v1/healthz" | jq -e '.replica == "0/2"' >/dev/null
 curl -fsS "$base2/v1/healthz" | jq -e '.replica == "1/2"' >/dev/null
+
+echo "== sharding: healthz exposes the peer breaker and hint queue"
+# Proxied traffic just flowed between the replicas, so each reports
+# its one peer's breaker closed and nothing queued for handoff.
+for b in "$base1" "$base2"; do
+    curl -fsS "$b/v1/healthz" | jq -e '
+        .replication_factor == 1 and .hints == 0
+        and (.peers | length) == 1 and .peers[0].state == "closed"
+    ' >/dev/null
+done
 
 echo "== sharding: every id answers identically through either replica"
 for b in "$base1" "$base2"; do
