@@ -10,6 +10,7 @@ import (
 	"context"
 	"testing"
 
+	"lasvegas"
 	"lasvegas/internal/adaptive"
 	"lasvegas/internal/core"
 	"lasvegas/internal/csp"
@@ -199,6 +200,52 @@ func BenchmarkAblationRealVsSimulatedWalk(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkSketchIngest pits the two ways of turning a 100k-run
+// stream into a queryable runtime law against each other: folding
+// into the mergeable quantile sketch (the lvserve NDJSON ingest path)
+// versus materializing the full sample as an Empirical (the
+// raw-campaign path). Ingest speed is at parity; the retained-vals/op
+// column is the point — the sketch holds O(k·log(n/k)) values live
+// however long the stream runs, the empirical all n.
+func BenchmarkSketchIngest(b *testing.B) {
+	const runs = 100_000
+	sample := make([]float64, runs)
+	for i := range sample {
+		sample[i] = float64(1 + (i*7919)%999983)
+	}
+	b.Run("sketch-fold-100k", func(b *testing.B) {
+		b.ReportAllocs()
+		retained := 0
+		for i := 0; i < b.N; i++ {
+			sk, err := lasvegas.NewSketch(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sk.AddAll(sample); err != nil {
+				b.Fatal(err)
+			}
+			if sk.Quantile(0.5) <= 0 {
+				b.Fatal("bad quantile")
+			}
+			retained = sk.Retained()
+		}
+		b.ReportMetric(float64(retained), "retained-vals/op")
+	})
+	b.Run("empirical-materialize-100k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e, err := dist.NewEmpirical(sample)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if e.Quantile(0.5) <= 0 {
+				b.Fatal("bad quantile")
+			}
+		}
+		b.ReportMetric(float64(runs), "retained-vals/op")
 	})
 }
 

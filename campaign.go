@@ -11,13 +11,23 @@ import (
 	"lasvegas/internal/stats"
 )
 
-// CampaignSchemaVersion is the JSON schema version written by
-// Campaign.WriteJSON. Version 1 is the legacy header-less format of
-// early lvseq files (problem/runs/seed/iterations/seconds only);
-// version 2 adds the schema marker, instance size, per-run censoring
-// flags, the censoring budget and free-form metadata. Readers accept
-// every version up to this one.
-const CampaignSchemaVersion = 2
+// CampaignSchemaVersion is the newest JSON schema version this
+// release reads and writes. Version 1 is the legacy header-less
+// format of early lvseq files (problem/runs/seed/iterations/seconds
+// only); version 2 adds the schema marker, instance size, per-run
+// censoring flags, the censoring budget and free-form metadata;
+// version 3 adds the sketch-backed representation (a mergeable
+// quantile sketch instead of, or alongside, raw runs). Readers accept
+// every version up to this one; writers emit the lowest version able
+// to carry the campaign (campaigns without a sketch still serialize
+// as version 2), so the canonical bytes — and the content-addressed
+// ids lvserve derives from them — of pre-sketch campaigns are
+// unchanged.
+const CampaignSchemaVersion = 3
+
+// campaignSchemaRaw is the schema version written for campaigns
+// without a sketch (the version-2 wire form, kept byte-stable).
+const campaignSchemaRaw = 2
 
 // Campaign is a sequential runtime sample of one Las Vegas solver on
 // one problem instance — the paper's §5.4 unit of measurement (~650
@@ -49,6 +59,13 @@ type Campaign struct {
 	// host, experiment name, ...). Keys starting with "lasvegas." are
 	// reserved for the library.
 	Metadata map[string]string
+	// Sketch holds the runs folded into a mergeable quantile sketch —
+	// the O(k·log(n/k))-memory representation NDJSON streaming ingest
+	// produces. It covers runs *not* listed in Iterations, so
+	// TotalRuns() = len(Iterations) + Sketch.N(); a campaign may carry
+	// raw runs, a sketch, or both. Sketch-backed campaigns must be
+	// complete (censoring flags cannot be folded into a sketch).
+	Sketch *Sketch
 }
 
 // campaignJSON is the on-disk schema (all versions).
@@ -63,24 +80,38 @@ type campaignJSON struct {
 	Seconds    []float64         `json:"seconds,omitempty"`
 	Censored   []int             `json:"censored,omitempty"`
 	Metadata   map[string]string `json:"metadata,omitempty"`
+	Sketch     *Sketch           `json:"sketch,omitempty"`
 }
 
-// MarshalJSON implements json.Marshaler, always writing the current
-// schema version. Value receiver so that both Campaign and *Campaign
-// serialize identically (a pointer-only marshaler would silently emit
-// untagged fields for non-addressable values).
+// MarshalJSON implements json.Marshaler, writing the lowest schema
+// version able to carry the campaign (see CampaignSchemaVersion).
+// Value receiver so that both Campaign and *Campaign serialize
+// identically (a pointer-only marshaler would silently emit untagged
+// fields for non-addressable values).
 func (c Campaign) MarshalJSON() ([]byte, error) {
+	schema := campaignSchemaRaw
+	if c.Sketch != nil {
+		schema = CampaignSchemaVersion
+	}
+	iterations := c.Iterations
+	if len(iterations) == 0 {
+		// Canonical form: an empty raw sample is always null, never [],
+		// so equal campaigns marshal to equal bytes (and equal ids)
+		// whether their empty slice is nil or allocated.
+		iterations = nil
+	}
 	return json.Marshal(campaignJSON{
-		Schema:     CampaignSchemaVersion,
+		Schema:     schema,
 		Problem:    c.Problem,
 		Size:       c.Size,
 		Runs:       c.Runs,
 		Seed:       c.Seed,
 		Budget:     c.Budget,
-		Iterations: c.Iterations,
+		Iterations: iterations,
 		Seconds:    c.Seconds,
 		Censored:   c.Censored,
 		Metadata:   c.Metadata,
+		Sketch:     c.Sketch,
 	})
 }
 
@@ -106,13 +137,20 @@ func (c *Campaign) UnmarshalJSON(data []byte) error {
 		Seconds:    j.Seconds,
 		Censored:   j.Censored,
 		Metadata:   j.Metadata,
+		Sketch:     j.Sketch,
 	}
 	return c.validate()
 }
 
 func (c *Campaign) validate() error {
-	if len(c.Iterations) == 0 {
+	if c.TotalRuns() == 0 {
 		return ErrEmptyCampaign
+	}
+	if c.Sketch != nil && c.Sketch.N() == 0 {
+		return fmt.Errorf("lasvegas: campaign carries an empty sketch")
+	}
+	if c.Sketch != nil && len(c.Censored) > 0 {
+		return fmt.Errorf("lasvegas: sketch-backed campaign with censored runs (a sketch stores values, not censoring flags)")
 	}
 	for _, i := range c.Censored {
 		if i < 0 || i >= len(c.Iterations) {
@@ -173,8 +211,13 @@ func LoadCampaign(path string) (*Campaign, error) {
 }
 
 // WriteCSV emits one row per run: index, iterations, seconds,
-// censored (0/1) — the format ReadCampaignCSV parses back.
+// censored (0/1) — the format ReadCampaignCSV parses back. Runs
+// folded into a sketch have no per-run records, so a campaign that
+// keeps no raw runs fails with ErrNoRawRuns.
 func (c *Campaign) WriteCSV(w io.Writer) error {
+	if len(c.Iterations) == 0 && c.HasSketch() {
+		return fmt.Errorf("%w: nothing to write as CSV", ErrNoRawRuns)
+	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"run", "iterations", "seconds", "censored"}); err != nil {
 		return err

@@ -17,6 +17,20 @@
 //	lvseq -problem costas -runs 600 -shard 0/3 -out s0.json   # machine A
 //	lvseq -problem costas -runs 600 -shard 1/3 -out s1.json   # machine B
 //	lvseq -problem costas -runs 600 -shard 2/3 -out s2.json   # machine C
+//
+// With -format ndjson the campaign streams to stdout as NDJSON (one
+// header line, one record per run — the lasvegas stream wire format),
+// which pipes straight into lvserve's O(1)-memory streaming ingest;
+// the human summary moves to stderr so the pipe stays clean:
+//
+//	lvseq -problem costas -size 13 -runs 200 -shard 0/2 -format ndjson |
+//	  curl -sS -H 'Content-Type: application/x-ndjson' --data-binary @- \
+//	  localhost:8080/v1/campaigns
+//
+// Each shard streamed this way is folded server-side into a mergeable
+// quantile sketch; POSTing {"merge_ids":[...]} afterwards pools the
+// shard sketches into the campaign a single unsharded stream would
+// have produced.
 package main
 
 import (
@@ -41,6 +55,7 @@ func main() {
 		outCSV  = flag.String("csv", "", "write per-run rows as CSV to this path")
 		maxIter = flag.Int64("maxiter", 0, "per-run iteration budget (0 = unbounded; budget-hit runs are censored)")
 		shardS  = flag.String("shard", "", "collect only shard i/n of the runs (e.g. 0/4), for multi-machine campaigns")
+		format  = flag.String("format", "text", "output format: text (human summary) | ndjson (stream the campaign to stdout, summary to stderr)")
 	)
 	flag.Parse()
 
@@ -50,6 +65,19 @@ func main() {
 	}
 	if *maxIter < 0 {
 		usage(fmt.Errorf("bad -maxiter %d: want 0 (unbounded) or a positive per-run budget", *maxIter))
+	}
+	if *format != "text" && *format != "ndjson" {
+		usage(fmt.Errorf("bad -format %q: want text or ndjson", *format))
+	}
+	ndjson := *format == "ndjson"
+	if ndjson && *maxIter > 0 {
+		usage(fmt.Errorf("-format ndjson requires complete campaigns: NDJSON streams carry no censoring flags, so drop -maxiter"))
+	}
+	// In ndjson mode stdout belongs to the stream; narration and the
+	// summary table go to stderr so a pipe into curl stays clean.
+	status := os.Stdout
+	if ndjson {
+		status = os.Stderr
 	}
 	prob := lasvegas.Problem(*problem)
 	if *size == 0 {
@@ -63,26 +91,32 @@ func main() {
 		lasvegas.WithShard(shardIdx, shardTotal),
 	)
 	if shardTotal > 1 {
-		fmt.Printf("collecting shard %d/%d of %d sequential runs of %s-%d (seed %d)...\n",
+		fmt.Fprintf(status, "collecting shard %d/%d of %d sequential runs of %s-%d (seed %d)...\n",
 			shardIdx, shardTotal, *runs, prob, *size, *seed)
 	} else {
-		fmt.Printf("collecting %d sequential runs of %s-%d (seed %d)...\n", *runs, prob, *size, *seed)
+		fmt.Fprintf(status, "collecting %d sequential runs of %s-%d (seed %d)...\n", *runs, prob, *size, *seed)
 	}
 	c, err := p.Collect(context.Background(), prob, *size)
 	if err != nil {
 		fatal(err)
 	}
 
+	if ndjson {
+		if err := c.WriteNDJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
 	it := c.IterationSummary()
 	ts := c.TimeSummary()
-	fmt.Printf("\n%-22s %12s %12s %12s %12s\n", "metric", "min", "mean", "median", "max")
-	fmt.Printf("%-22s %12.4g %12.4g %12.4g %12.4g\n", "iterations", it.Min, it.Mean, it.Median, it.Max)
-	fmt.Printf("%-22s %12.4g %12.4g %12.4g %12.4g\n", "seconds", ts.Min, ts.Mean, ts.Median, ts.Max)
-	fmt.Printf("\nmax/min iteration ratio: %.1f (the paper observes ratios in the thousands)\n", it.Max/it.Min)
+	fmt.Fprintf(status, "\n%-22s %12s %12s %12s %12s\n", "metric", "min", "mean", "median", "max")
+	fmt.Fprintf(status, "%-22s %12.4g %12.4g %12.4g %12.4g\n", "iterations", it.Min, it.Mean, it.Median, it.Max)
+	fmt.Fprintf(status, "%-22s %12.4g %12.4g %12.4g %12.4g\n", "seconds", ts.Min, ts.Mean, ts.Median, ts.Max)
+	fmt.Fprintf(status, "\nmax/min iteration ratio: %.1f (the paper observes ratios in the thousands)\n", it.Max/it.Min)
 	if c.IsCensored() {
-		fmt.Printf("censored: %d of %d runs (%.1f%%) hit the %d-iteration budget\n",
+		fmt.Fprintf(status, "censored: %d of %d runs (%.1f%%) hit the %d-iteration budget\n",
 			len(c.Censored), c.Runs, 100*c.CensoredFraction(), c.Budget)
-		fmt.Println("hint: censored campaigns still fit — lvpredict and lvserve route them through the" +
+		fmt.Fprintln(status, "hint: censored campaigns still fit — lvpredict and lvserve route them through the"+
 			" Kaplan–Meier / censored-MLE estimators automatically")
 	}
 
@@ -90,7 +124,7 @@ func main() {
 		if err := c.SaveJSON(*outJSON); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("campaign written to %s\n", *outJSON)
+		fmt.Fprintf(status, "campaign written to %s\n", *outJSON)
 	}
 	if *outCSV != "" {
 		f, err := os.Create(*outCSV)
@@ -103,7 +137,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("per-run CSV written to %s\n", *outCSV)
+		fmt.Fprintf(status, "per-run CSV written to %s\n", *outCSV)
 	}
 }
 

@@ -42,6 +42,20 @@
 //	jq -s . shard0.json shard1.json | curl -sd @- localhost:8080/v1/campaigns
 //	curl -sd '{"id":"<id>"}' localhost:8080/v1/fit
 //	curl -s 'localhost:8080/v1/predict?id=<id>&cores=16,64,256&target=8'
+//
+// Streaming ingest: POST /v1/campaigns with Content-Type
+// application/x-ndjson accepts the NDJSON campaign stream `lvseq
+// -format ndjson` emits, folding records into a quantile sketch of
+// capacity -sketch-k as they arrive — the daemon's memory stays O(1)
+// in the stream length, so campaigns of millions of runs upload
+// without a matching -max-body. Streams are capped (by wire volume
+// only) at -max-stream-bytes. Shards streamed separately pool
+// server-side with {"merge_ids": [...]}:
+//
+//	lvseq -problem costas -size 13 -runs 100000 -shard 0/2 -format ndjson |
+//	  curl -sS -H 'Content-Type: application/x-ndjson' --data-binary @- \
+//	  localhost:8080/v1/campaigns
+//	curl -sd '{"merge_ids":["<id0>","<id1>"]}' localhost:8080/v1/campaigns
 package main
 
 import (
@@ -68,7 +82,9 @@ func main() {
 		familiesS = flag.String("families", "", "comma-separated candidate families (default: the paper's accepted trio)")
 		alpha     = flag.Float64("alpha", 0.05, "KS significance level")
 		workers   = flag.Int("workers", 0, "max concurrent fit/collect jobs (0 = GOMAXPROCS)")
-		maxBody   = flag.Int64("max-body", 8<<20, "request body cap in bytes")
+		maxBody   = flag.Int64("max-body", 8<<20, "buffered request body cap in bytes (NDJSON streams are capped by -max-stream-bytes instead)")
+		maxStream = flag.Int64("max-stream-bytes", 0, "NDJSON campaign-stream cap in bytes (0 = 1 GiB; bounds wire volume only — streams are never buffered)")
+		sketchK   = flag.Int("sketch-k", 0, "quantile-sketch capacity for streamed campaigns (0 = the lasvegas default; rank error ≈ log2(n/k)/k)")
 		maxStore  = flag.Int("max-campaigns", 1024, "campaigns cached before FIFO eviction")
 		maxRuns   = flag.Int("max-collect-runs", 10000, "per-request cap on server-side collection runs")
 		dataDir   = flag.String("data-dir", "", "durable store directory (empty = in-memory only)")
@@ -97,6 +113,8 @@ func main() {
 		Alpha:          *alpha,
 		Workers:        *workers,
 		MaxBodyBytes:   *maxBody,
+		MaxStreamBytes: *maxStream,
+		SketchK:        *sketchK,
 		MaxCampaigns:   *maxStore,
 		MaxCollectRuns: *maxRuns,
 		DataDir:        *dataDir,

@@ -117,6 +117,33 @@
 // responses across daemon restarts; CI's serve-smoke job replays this
 // exact workflow (scripts/serve_smoke.sh) on every push.
 //
+// # Streaming campaigns and quantile sketches
+//
+// Campaigns too large to buffer stream instead. WriteNDJSON emits
+// the run sample as NDJSON — one header line, one record per run —
+// and ReadCampaignNDJSON folds such a stream record-at-a-time into a
+// mergeable quantile sketch, never materializing the sample: reading
+// an n-run stream retains O(k·log(n/k)) values (NewSketch's k, 1024
+// by default), stays exact below that capacity, and reports its own
+// rank-error bound above it. `lvseq -format ndjson` pipes straight
+// into lvserve's streaming ingest (Content-Type
+// application/x-ndjson), and shard streams pooled server-side with
+// {"merge_ids": [...]} — or locally with Campaign.Merge, the sketch
+// merge being associative and commutative — reproduce byte-for-byte
+// the campaign of one unsharded stream:
+//
+//	lvseq -problem costas -size 13 -runs 200 -shard 0/2 -format ndjson |
+//	  curl -sS -H 'Content-Type: application/x-ndjson' --data-binary @- \
+//	  localhost:8080/v1/campaigns
+//
+// Sketch-backed campaigns marshal with schema 3 (raw campaigns keep
+// schema 2, so existing content ids never move), fit through the
+// same family selection on a bounded inverse-CDF sample (models
+// carry EstimatorSketch), and Sketchify converts a raw campaign in
+// place of its runs. Censored campaigns cannot stream: the wire
+// carries no censoring flags (ErrNoRawRuns and ErrStream type these
+// failure modes).
+//
 // # Serving durably
 //
 // By default the daemon's store is in-memory and forgets every

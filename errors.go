@@ -37,4 +37,16 @@ var (
 	// different instances (or cut off at different budgets) are not
 	// draws of one distribution and must not be pooled.
 	ErrMergeMismatch = errors.New("lasvegas: campaign shards do not match")
+
+	// ErrNoRawRuns is returned by the paths that need per-run
+	// observations — SimulateSpeedups, BootstrapCI, LearnScaling,
+	// WriteCSV/WriteNDJSON — when the campaign is sketch-backed and
+	// keeps no raw runs. Fit, FitAll, PlugIn and the prediction
+	// endpoints accept sketch-backed campaigns.
+	ErrNoRawRuns = errors.New("lasvegas: sketch-backed campaign keeps no raw runs")
+
+	// ErrStream reports a malformed NDJSON campaign stream: a missing
+	// or unsupported header, a bad record, or a stream whose record
+	// count contradicts the header's declared runs (a torn upload).
+	ErrStream = errors.New("lasvegas: malformed campaign stream")
 )

@@ -1,0 +1,49 @@
+package lasvegas_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"lasvegas"
+)
+
+// An NDJSON campaign stream — what `lvseq -format ndjson` pipes into
+// lvserve — folds into a mergeable quantile sketch as it is read, so
+// ingest memory is O(k·log(n/k)) whatever the stream length. Streams
+// under the sketch capacity stay exact: the sketch answers every
+// quantile with the empirical sample's own values, and shard sketches
+// merge back into the very sketch one unsharded stream produces.
+func ExampleReadCampaignNDJSON() {
+	campaign := &lasvegas.Campaign{
+		Problem:    "costas-13",
+		Size:       13,
+		Runs:       6,
+		Seed:       7,
+		Iterations: []float64{1200, 845, 3100, 402, 560, 1975},
+	}
+	var stream bytes.Buffer
+	if err := campaign.WriteNDJSON(&stream); err != nil { // the lvseq emitter
+		log.Fatal(err)
+	}
+	got, err := lasvegas.ReadCampaignNDJSON(&stream, 0) // the lvserve ingest
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("runs: %d (raw records kept: %d)\n", got.TotalRuns(), len(got.Iterations))
+
+	sk, err := got.RuntimeSketch(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exact:", sk.Exact())
+	fmt.Println("median:", sk.Quantile(0.5))
+	// E[Z(16)] — the expected minimum of 16 parallel draws — comes
+	// straight from the sketch, no raw sample needed.
+	fmt.Printf("E[Z(16)] = %.0f\n", sk.MinExpectation(16))
+	// Output:
+	// runs: 6 (raw records kept: 0)
+	// exact: true
+	// median: 845
+	// E[Z(16)] = 411
+}

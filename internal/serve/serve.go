@@ -5,10 +5,16 @@
 //
 // Endpoints:
 //
-//	POST /v1/campaigns   upload one schema-v2 campaign, an array of
-//	                     campaign shards to merge, or a
+//	POST /v1/campaigns   upload one campaign (schema ≤ 3), an array of
+//	                     campaign shards to merge, a
 //	                     {"collect": {...}} request the server runs
-//	                     itself; returns the content-derived campaign id
+//	                     itself, a {"merge_ids": [...]} request pooling
+//	                     already-stored campaigns, or — with
+//	                     Content-Type: application/x-ndjson — a streamed
+//	                     NDJSON campaign folded record-by-record into a
+//	                     quantile sketch (O(1) memory in the stream
+//	                     length; see the lasvegas stream wire format);
+//	                     returns the content-derived campaign id
 //	POST /v1/fit         {"id": ...} → ranked candidate table with KS
 //	                     (and Anderson–Darling) verdicts plus the best
 //	                     accepted model
@@ -65,11 +71,12 @@
 // are all censored remain unfittable.
 //
 // The public package's typed errors map onto status codes —
-// ErrSchema and ErrEmptyCampaign 400, ErrUnknownProblem (and unknown
-// campaign ids) 404, ErrMergeMismatch 409 (merge conflicts only),
-// ErrNoAcceptableFit and ErrCensored (all-censored campaigns) 422 —
-// so clients can program against failure modes without parsing
-// messages. Campaign ids are content hashes of the canonical campaign
+// ErrSchema, ErrEmptyCampaign and ErrStream 400, ErrUnknownProblem
+// (and unknown campaign ids) 404, ErrMergeMismatch 409 (merge
+// conflicts only), a body over MaxBodyBytes (or a stream over
+// MaxStreamBytes) 413, ErrNoAcceptableFit, ErrCensored (all-censored
+// campaigns) and ErrNoRawRuns 422 — so clients can program against
+// failure modes without parsing messages. Campaign ids are content hashes of the canonical campaign
 // JSON and every response is rendered deterministically, so a
 // fixed-seed campaign produces byte-identical fit and predict
 // responses across daemon restarts.
@@ -115,8 +122,20 @@ type Config struct {
 	// Workers bounds concurrent fit and collect jobs
 	// (default 0 = GOMAXPROCS via the lasvegas defaults).
 	Workers int
-	// MaxBodyBytes caps request bodies (default 8 MiB).
+	// MaxBodyBytes caps buffered request bodies (default 8 MiB).
+	// NDJSON campaign streams are exempt — they are never buffered —
+	// and capped by MaxStreamBytes instead.
 	MaxBodyBytes int64
+	// MaxStreamBytes caps one NDJSON campaign stream (default 1 GiB).
+	// The cap bounds wire volume, not memory: a stream is folded into
+	// a quantile sketch record by record, so server memory stays
+	// O(k·log(n/k)) whatever the stream length.
+	MaxStreamBytes int64
+	// SketchK is the quantile-sketch capacity streamed campaigns are
+	// folded at (default 0 = lasvegas.DefaultSketchK). Larger k keeps
+	// more of the sample exactly — streams of at most k runs are
+	// lossless — at rank error ≈ log2(n/k)/k beyond that.
+	SketchK int
 	// MaxCampaigns caps the in-memory store; the oldest campaign is
 	// evicted first (default 1024).
 	MaxCampaigns int
@@ -194,6 +213,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.MaxStreamBytes <= 0 {
+		cfg.MaxStreamBytes = 1 << 30
+	}
+	// Validate the sketch capacity at startup — a bad k would otherwise
+	// fail every stream upload with a confusing per-request error.
+	if _, err := lasvegas.NewSketch(cfg.SketchK); err != nil {
+		return nil, fmt.Errorf("serve: sketch capacity: %w", err)
 	}
 	if cfg.MaxCampaigns <= 0 {
 		cfg.MaxCampaigns = 1024
@@ -377,12 +404,16 @@ type collectRequest struct {
 	Budget  int64  `json:"budget,omitempty"`
 }
 
-// campaignResponse acknowledges a stored campaign.
+// campaignResponse acknowledges a stored campaign. Runs counts every
+// run the campaign carries — raw observations plus the ones folded
+// into its sketch; Sketched marks campaigns holding (part of) their
+// sample as a quantile sketch, e.g. NDJSON stream uploads.
 type campaignResponse struct {
 	ID       string `json:"id"`
 	Problem  string `json:"problem"`
 	Size     int    `json:"size,omitempty"`
 	Runs     int    `json:"runs"`
+	Sketched bool   `json:"sketched,omitempty"`
 	Censored int    `json:"censored,omitempty"`
 	Budget   int64  `json:"budget,omitempty"`
 	Merged   int    `json:"merged_shards,omitempty"`
@@ -492,10 +523,17 @@ type peerHealth struct {
 
 // --- handlers -----------------------------------------------------
 
-// handleCampaigns stores a campaign: an uploaded schema-v2 campaign
-// object, an array of shards merged server-side, or a
-// {"collect": ...} request executed by the daemon.
+// handleCampaigns stores a campaign: an uploaded campaign object
+// (schema ≤ 3), an array of shards merged server-side, a
+// {"collect": ...} request executed by the daemon, a
+// {"merge_ids": [...]} request pooling already-stored campaigns, or —
+// declared by Content-Type: application/x-ndjson — an NDJSON campaign
+// stream folded into a quantile sketch as it arrives.
 func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	if isNDJSON(r.Header.Get("Content-Type")) {
+		s.handleCampaignStream(w, r)
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		s.writeError(w, fmt.Errorf("serve: reading body: %w", err))
@@ -503,13 +541,17 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	}
 	trimmed := bytes.TrimLeft(body, " \t\r\n")
 	// A shard array merges, a {"collect": ...} object collects
-	// server-side, anything else is a campaign upload (campaigns
-	// always carry "iterations"; a probe decode keeps a metadata key
-	// named "collect" from misrouting an upload).
+	// server-side, a {"merge_ids": [...]} object pools stored
+	// campaigns, anything else is a campaign upload (campaigns always
+	// carry "iterations", even sketch-backed ones, where it is null; a
+	// probe decode keeps a metadata key named "collect" from misrouting
+	// an upload).
 	var probe struct {
 		Collect    json.RawMessage `json:"collect"`
+		MergeIDs   []string        `json:"merge_ids"`
 		Iterations json.RawMessage `json:"iterations"`
 	}
+	probed := json.Unmarshal(trimmed, &probe) == nil && probe.Iterations == nil
 	var (
 		c      *lasvegas.Campaign
 		merged int
@@ -517,8 +559,10 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case len(trimmed) > 0 && trimmed[0] == '[':
 		c, merged, err = mergeShards(trimmed)
-	case json.Unmarshal(trimmed, &probe) == nil && probe.Collect != nil && probe.Iterations == nil:
+	case probed && probe.Collect != nil:
 		c, err = s.collect(r.Context(), trimmed)
+	case probed && probe.MergeIDs != nil:
+		c, merged, err = s.mergeByIDs(r.Context(), probe.MergeIDs)
 	default:
 		c = &lasvegas.Campaign{}
 		if err = json.Unmarshal(trimmed, c); err != nil {
@@ -529,6 +573,45 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	s.storeCampaign(w, r, c, merged)
+}
+
+// handleCampaignStream is the NDJSON ingest path of /v1/campaigns:
+// records are decoded one at a time and folded into a quantile sketch
+// of capacity Config.SketchK, so a campaign of millions of runs is
+// ingested in O(k·log(n/k)) memory — the server never materializes
+// the body. Streams are capped at Config.MaxStreamBytes (a far higher
+// bar than MaxBodyBytes, since nothing is buffered), with overflow
+// answered 413 like any oversized upload.
+func (s *Server) handleCampaignStream(w http.ResponseWriter, r *http.Request) {
+	c, err := lasvegas.ReadCampaignNDJSON(http.MaxBytesReader(w, r.Body, s.cfg.MaxStreamBytes), s.cfg.SketchK)
+	if err != nil {
+		s.writeError(w, fmt.Errorf("serve: campaign stream: %w", err))
+		return
+	}
+	s.storeCampaign(w, r, c, 0)
+}
+
+// isNDJSON reports whether a Content-Type declares the NDJSON
+// campaign-stream wire format (media-type parameters are ignored).
+func isNDJSON(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	switch strings.ToLower(strings.TrimSpace(ct)) {
+	case "application/x-ndjson", "application/ndjson", "application/jsonl":
+		return true
+	}
+	return false
+}
+
+// storeCampaign encodes a finished campaign and routes the write:
+// replication writes store locally, non-owners hand the canonical
+// bytes to the first live owner, owners fsync locally and fan out to
+// the rest of the preference list. Shared by the buffered and the
+// streaming upload paths — routing only ever sees finished campaigns'
+// canonical JSON, never request bodies.
+func (s *Server) storeCampaign(w http.ResponseWriter, r *http.Request, c *lasvegas.Campaign, merged int) {
 	id, canonical, err := store.Encode(c)
 	if err != nil {
 		s.writeError(w, err)
@@ -538,7 +621,8 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		ID:       id,
 		Problem:  c.Problem,
 		Size:     c.Size,
-		Runs:     len(c.Iterations),
+		Runs:     c.TotalRuns(),
+		Sketched: c.HasSketch(),
 		Censored: len(c.Censored),
 		Budget:   c.Budget,
 		Merged:   merged,
@@ -646,6 +730,53 @@ func mergeShards(body []byte) (*lasvegas.Campaign, int, error) {
 		return nil, 0, err
 	}
 	return c, len(shards), nil
+}
+
+// mergeByIDs pools already-stored campaigns — typically NDJSON shard
+// streams uploaded separately — into one campaign, which then routes
+// to its own owners like any upload. Input ids are resolved on this
+// replica or read from a peer owner without caching (this replica may
+// own none of them). Sketch-backed shards fold their sketches; while
+// every shard is still exact the pooled campaign is identical to the
+// one a single unsharded stream would have produced.
+func (s *Server) mergeByIDs(ctx context.Context, ids []string) (*lasvegas.Campaign, int, error) {
+	if len(ids) < 2 {
+		return nil, 0, errors.New(`serve: merge request: want {"merge_ids": [two or more campaign ids]}`)
+	}
+	shards := make([]*lasvegas.Campaign, len(ids))
+	for i, id := range ids {
+		c, err := s.resolveCampaign(ctx, id)
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: merge id %q: %w", id, err)
+		}
+		shards[i] = c
+	}
+	c, err := lasvegas.MergeCampaigns(shards...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, len(ids), nil
+}
+
+// resolveCampaign finds one campaign by id: the local store first,
+// then — read-only — each peer owner on the id's preference list.
+func (s *Server) resolveCampaign(ctx context.Context, id string) (*lasvegas.Campaign, error) {
+	e, err := s.store.Get(id)
+	if err == nil {
+		return e.Campaign, nil
+	}
+	if s.replicas < 2 || !errors.Is(err, store.ErrUnknownCampaign) {
+		return nil, err
+	}
+	for _, o := range store.Owners(id, s.replicas, s.repl) {
+		if o == s.self {
+			continue
+		}
+		if c, _ := s.peekPeer(ctx, o, id); c != nil {
+			return c, nil
+		}
+	}
+	return nil, err
 }
 
 // collect runs a campaign on the daemon itself, inside the shared
@@ -974,33 +1105,44 @@ func (s *Server) getOrRepair(ctx context.Context, id string, owners []int) (*sto
 // locally (the repair). Any failure returns nil — the caller just
 // tries the next owner.
 func (s *Server) fetchFromPeer(ctx context.Context, peer int, id string) *store.Entry {
-	resp, err := s.peerc.do(ctx, peer, s.cfg.PeerTimeout, "GET",
-		"/v1/internal/campaign?id="+url.QueryEscape(id), nil, nil)
-	if err != nil {
+	c, canonical := s.peekPeer(ctx, peer, id)
+	if c == nil {
 		return nil
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		return nil
-	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		return nil
-	}
-	c := &lasvegas.Campaign{}
-	if err := json.Unmarshal(data, c); err != nil {
-		return nil
-	}
-	rid, canonical, err := store.Encode(c)
-	if err != nil || rid != id {
-		return nil // a peer serving bytes that don't hash to the id is corrupt
 	}
 	e, err := s.store.AddEncoded(id, canonical, c)
 	if err != nil {
 		return nil
 	}
 	return e
+}
+
+// peekPeer retrieves and verifies one campaign from a peer without
+// storing it — the read-only fetch behind merge-by-id, and the first
+// half of read-repair. Any failure returns nil.
+func (s *Server) peekPeer(ctx context.Context, peer int, id string) (*lasvegas.Campaign, []byte) {
+	resp, err := s.peerc.do(ctx, peer, s.cfg.PeerTimeout, "GET",
+		"/v1/internal/campaign?id="+url.QueryEscape(id), nil, nil)
+	if err != nil {
+		return nil, nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, nil
+	}
+	c := &lasvegas.Campaign{}
+	if err := json.Unmarshal(data, c); err != nil {
+		return nil, nil
+	}
+	rid, canonical, err := store.Encode(c)
+	if err != nil || rid != id {
+		return nil, nil // a peer serving bytes that don't hash to the id is corrupt
+	}
+	return c, canonical
 }
 
 // kickDrain nudges the hint drainer without blocking.
@@ -1084,21 +1226,28 @@ func (s *Server) relay(w http.ResponseWriter, resp *http.Response) {
 // statusFor maps the public package's typed errors (and the store's
 // unknown-id error) onto HTTP status codes.
 func statusFor(err error) int {
+	var tooBig *http.MaxBytesError
 	switch {
+	case errors.As(err, &tooBig):
+		// A body over MaxBodyBytes, or a stream over MaxStreamBytes.
+		return http.StatusRequestEntityTooLarge // 413
 	case errors.Is(err, lasvegas.ErrUnknownProblem), errors.Is(err, store.ErrUnknownCampaign):
 		return http.StatusNotFound // 404
 	case errors.Is(err, lasvegas.ErrMergeMismatch):
 		return http.StatusConflict // 409
-	case errors.Is(err, lasvegas.ErrNoAcceptableFit), errors.Is(err, lasvegas.ErrCensored):
+	case errors.Is(err, lasvegas.ErrNoAcceptableFit), errors.Is(err, lasvegas.ErrCensored),
+		errors.Is(err, lasvegas.ErrNoRawRuns):
 		// ErrCensored survives only for all-censored campaigns (the
 		// fit path absorbs partial censoring): like a fit every family
 		// rejects, the upload is well-formed but unusable — 422.
+		// ErrNoRawRuns likewise: the campaign is valid but the request
+		// needs per-run records its sketch no longer holds.
 		return http.StatusUnprocessableEntity // 422
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return 499 // client closed request (nginx convention)
 	default:
-		// ErrSchema, ErrEmptyCampaign, JSON decoding and parameter
-		// validation are all malformed-request failures.
+		// ErrSchema, ErrEmptyCampaign, ErrStream, JSON decoding and
+		// parameter validation are all malformed-request failures.
 		return http.StatusBadRequest // 400
 	}
 }

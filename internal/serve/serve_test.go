@@ -330,6 +330,32 @@ func TestErrorMapping(t *testing.T) {
 		{"merge mismatch 409", func() (int, []byte) {
 			return post(t, ts, "/v1/campaigns", mismatched)
 		}, http.StatusConflict},
+		{"oversized body 413", func() (int, []byte) {
+			tiny := newConfigServer(t, Config{MaxBodyBytes: 64})
+			return post(t, tiny, "/v1/campaigns", uniformJSON)
+		}, http.StatusRequestEntityTooLarge},
+		{"oversized stream 413", func() (int, []byte) {
+			tiny := newConfigServer(t, Config{MaxStreamBytes: 64})
+			stream := []byte(`{"stream":1,"problem":"x"}` + "\n" +
+				strings.Repeat(`{"iterations":123456789}`+"\n", 8))
+			return postStream(t, tiny, bytes.NewReader(stream))
+		}, http.StatusRequestEntityTooLarge},
+		{"torn stream 400", func() (int, []byte) {
+			// The header declares 3 runs; the stream carries 2.
+			stream := []byte(`{"stream":1,"problem":"x","runs":3}` + "\n" +
+				`{"iterations":1}` + "\n" + `{"iterations":2}` + "\n")
+			return postStream(t, ts, bytes.NewReader(stream))
+		}, http.StatusBadRequest},
+		{"stream without header 400", func() (int, []byte) {
+			return postStream(t, ts, strings.NewReader(`{"iterations":1}`+"\n"))
+		}, http.StatusBadRequest},
+		{"merge_ids unknown id 404", func() (int, []byte) {
+			return post(t, ts, "/v1/campaigns",
+				[]byte(`{"merge_ids":["c0000000000000000","c0000000000000001"]}`))
+		}, http.StatusNotFound},
+		{"merge_ids too few 400", func() (int, []byte) {
+			return post(t, ts, "/v1/campaigns", []byte(`{"merge_ids":["c0000000000000000"]}`))
+		}, http.StatusBadRequest},
 		{"fit unknown id 404", func() (int, []byte) {
 			return post(t, ts, "/v1/fit", []byte(`{"id":"c0000000000000000"}`))
 		}, http.StatusNotFound},

@@ -1,0 +1,631 @@
+// Package sketch provides a mergeable quantile sketch for folding an
+// unbounded stream of sequential runtimes into O(k·log(n/k)) memory —
+// the streaming counterpart of dist.Empirical, built so a long-running
+// lvserve can ingest campaigns of millions of runs without ever
+// materializing the sample.
+//
+// # Why a KLL-style compactor hierarchy, not a t-digest
+//
+// Two mergeable sketches dominate practice: the t-digest (centroid
+// clustering, great relative accuracy at the tails) and the
+// KLL/Manku–Rajagopalan–Lindsay family (a hierarchy of fixed-capacity
+// compactors). This package implements the compactor hierarchy, for
+// two reasons that matter here more than tail-relative accuracy:
+//
+//  1. Guaranteed rank-error bounds. A compactor sketch carries a
+//     worst-case uniform rank-error guarantee (derived below) that
+//     holds for every input, including the atom-heavy tied samples
+//     iteration counts produce. A t-digest's accuracy is empirical —
+//     its clustering invariant bounds centroid sizes, not the rank
+//     error of an adversarial stream — and the speed-up predictor's
+//     min-expectation integrates exactly the quantile region where we
+//     need a provable bound.
+//  2. Byte-stable determinism. t-digest merging depends on centroid
+//     ordering and floating-point averaging, so shard merges are not
+//     reproducible across orderings. Here compaction is fully
+//     deterministic (sort, then keep every other item, the surviving
+//     parity alternating with a per-level counter), every level is a
+//     plain sorted slice, and the canonical JSON depends only on the
+//     retained multiset — replicas that fold the same stream, in any
+//     chunking, serve byte-identical sketches.
+//
+// # Structure
+//
+// Level h holds items of weight 2^h. New observations append to level
+// 0; when a level reaches the capacity k it is compacted: sorted, and
+// every other item is promoted with doubled weight to level h+1
+// (alternating the surviving parity so consecutive compactions cancel
+// rather than accumulate bias). The retained size is at most
+// k·⌈log2(n/k)+1⌉ items regardless of the stream length n.
+//
+// While no compaction has happened (n ≤ k) the sketch is in "exact
+// mode": it is the full sample and every query — CDF, Quantile,
+// Mean, Var, MinExpectation — is bit-identical to dist.Empirical on
+// the same observations.
+//
+// # Rank-error bound
+//
+// Compacting a level of weight w = 2^h perturbs the rank of any query
+// point by at most w (each surviving item stands for itself and its
+// dropped neighbour; the parity trick makes errors of consecutive
+// compactions alternate in sign, but we do not rely on that
+// cancellation for the guarantee). A stream of n items triggers at
+// most C_h ≈ n/(k·2^h) compactions at level h, so the total rank
+// error is at most
+//
+//	Σ_h C_h · 2^h  ≤  n·H/k,  H = number of compacting levels ≈ log2(n/k),
+//
+// i.e. a relative rank error ε ≤ H/k. The sketch tracks its per-level
+// compaction counts and ErrorBound reports the exact conservative
+// bound Σ_h C_h·2^h / n for the stream it actually saw — 0 in exact
+// mode, ~0.5% for k=1024 at n=10⁶. Merging concatenates levels and
+// re-compacts, so a merged sketch's bound is the sum of its parents'
+// plus whatever the re-compaction adds: Merge is associative and
+// order-insensitive up to that documented bound (and byte-identical
+// under reordering: the canonical form depends only on the retained
+// multiset, and a⊕b and b⊕a retain the same one).
+//
+// A Sketch is NOT safe for concurrent mutation; concurrent readers
+// are safe once ingestion is done (query caches build through a
+// sync.Once that mutators reset).
+package sketch
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"lasvegas/internal/xrand"
+)
+
+// DefaultK is the default compactor capacity: rank error ≈
+// log2(n/k)/k ≈ 1% at a billion observations, in ~a hundred KB.
+const DefaultK = 1024
+
+// SchemaVersion is the canonical JSON schema version written by
+// MarshalJSON; readers accept every version up to this one.
+const SchemaVersion = 1
+
+// ErrSketch reports an invalid sketch parameter, state or merge.
+var ErrSketch = errors.New("sketch: invalid")
+
+// Sketch is a deterministic KLL-style mergeable quantile sketch (see
+// the package documentation). The zero value is not usable; call New.
+type Sketch struct {
+	k           int
+	n           uint64
+	min, max    float64
+	levels      [][]float64 // levels[h] holds items of weight 2^h
+	compactions []uint64    // per-level compaction counts (parity + error bound)
+
+	once *sync.Once // guards vw; replaced by invalidate() after mutations
+	vw   *view
+}
+
+// view is the lazily-built query cache: the retained items expanded
+// into one ascending weighted sample. In exact mode xs is exactly the
+// sorted observation array of dist.Empirical.
+type view struct {
+	xs  []float64 // ascending retained values
+	ws  []float64 // weight of each value (2^level)
+	cum []float64 // cumulative weight; cum[len-1] == float64(n)
+}
+
+// New returns an empty sketch with compactor capacity k (k ≤ 0 means
+// DefaultK). k must be an even number ≥ 8; sketches merge only with
+// sketches of the same k.
+func New(k int) (*Sketch, error) {
+	if k <= 0 {
+		k = DefaultK
+	}
+	if k < 8 || k%2 != 0 {
+		return nil, fmt.Errorf("%w: capacity k=%d must be an even number ≥ 8", ErrSketch, k)
+	}
+	return &Sketch{
+		k:           k,
+		min:         math.Inf(1),
+		max:         math.Inf(-1),
+		levels:      [][]float64{nil},
+		compactions: []uint64{0},
+		once:        new(sync.Once),
+	}, nil
+}
+
+// K returns the compactor capacity.
+func (s *Sketch) K() int { return s.k }
+
+// N returns the number of observations folded in.
+func (s *Sketch) N() uint64 { return s.n }
+
+// Retained returns the number of items the sketch actually stores —
+// at most k·⌈log2(n/k)+1⌉, the bound the streaming-ingest tests
+// assert against.
+func (s *Sketch) Retained() int {
+	total := 0
+	for _, lv := range s.levels {
+		total += len(lv)
+	}
+	return total
+}
+
+// ErrorBound returns the conservative worst-case relative rank error
+// of the stream folded so far: Σ_h compactions[h]·2^h / n. It is 0 in
+// exact mode and grows with log2(n/k)/k.
+func (s *Sketch) ErrorBound() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	var errW float64
+	for h, c := range s.compactions {
+		errW += float64(c) * float64(uint64(1)<<uint(h))
+	}
+	return errW / float64(s.n)
+}
+
+// Exact reports whether the sketch still holds the full sample (no
+// compaction has happened), in which case every query is bit-identical
+// to dist.Empirical on the same observations.
+func (s *Sketch) Exact() bool {
+	for _, c := range s.compactions {
+		if c > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add folds one observation; it fails on non-finite values.
+func (s *Sketch) Add(x float64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return fmt.Errorf("%w: non-finite observation %v", ErrSketch, x)
+	}
+	s.levels[0] = append(s.levels[0], x)
+	s.n++
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+	if len(s.levels[0]) >= s.k {
+		s.compact(0)
+	}
+	s.invalidate()
+	return nil
+}
+
+// invalidate drops the lazily-built query view after a mutation. The
+// sync.Once is replaced only when a view was actually built: under
+// the documented contract (writers serialized against readers) an
+// unfired Once with no view is still fresh, which keeps a pure
+// ingest loop — millions of Adds, no queries — allocation-free here.
+func (s *Sketch) invalidate() {
+	if s.vw != nil {
+		s.vw = nil
+		s.once = new(sync.Once)
+	}
+}
+
+// AddAll folds a whole sample in order.
+func (s *Sketch) AddAll(xs []float64) error {
+	for _, x := range xs {
+		if err := s.Add(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compact halves level h: sort, keep items of the alternating parity
+// at weight 2^(h+1) on level h+1, drop the rest. An odd-sized level
+// leaves its largest item in place (no rank error for it). Cascades
+// while the promotion fills higher levels to capacity.
+func (s *Sketch) compact(h int) {
+	for ; h < len(s.levels) && len(s.levels[h]) >= s.k; h++ {
+		buf := s.levels[h]
+		sort.Float64s(buf)
+		var leftover float64
+		hasLeftover := len(buf)%2 == 1
+		if hasLeftover {
+			leftover = buf[len(buf)-1]
+			buf = buf[:len(buf)-1]
+		}
+		start := 0
+		if s.compactions[h]%2 == 1 {
+			start = 1
+		}
+		promoted := make([]float64, 0, len(buf)/2)
+		for i := start; i < len(buf); i += 2 {
+			promoted = append(promoted, buf[i])
+		}
+		s.compactions[h]++
+		s.levels[h] = s.levels[h][:0]
+		if hasLeftover {
+			s.levels[h] = append(s.levels[h], leftover)
+		}
+		if len(s.levels) <= h+1 {
+			s.levels = append(s.levels, nil)
+			s.compactions = append(s.compactions, 0)
+		}
+		s.levels[h+1] = append(s.levels[h+1], promoted...)
+	}
+}
+
+// Clone returns an independent copy of the sketch.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{
+		k:           s.k,
+		n:           s.n,
+		min:         s.min,
+		max:         s.max,
+		levels:      make([][]float64, len(s.levels)),
+		compactions: append([]uint64(nil), s.compactions...),
+		once:        new(sync.Once),
+	}
+	for h, lv := range s.levels {
+		c.levels[h] = append([]float64(nil), lv...)
+	}
+	return c
+}
+
+// Merge combines two sketches of the same capacity into a new one
+// covering both streams; a and b are not modified. Merge is
+// associative and commutative up to the documented rank-error bound,
+// and exactly commutative in canonical bytes: the result's canonical
+// form depends only on the retained multiset, which is symmetric in
+// a and b.
+func Merge(a, b *Sketch) (*Sketch, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("%w: merge with nil sketch", ErrSketch)
+	}
+	if a.k != b.k {
+		return nil, fmt.Errorf("%w: merge capacity mismatch k=%d vs k=%d", ErrSketch, a.k, b.k)
+	}
+	levels := len(a.levels)
+	if len(b.levels) > levels {
+		levels = len(b.levels)
+	}
+	m := &Sketch{
+		k:           a.k,
+		n:           a.n + b.n,
+		min:         math.Min(a.min, b.min),
+		max:         math.Max(a.max, b.max),
+		levels:      make([][]float64, levels),
+		compactions: make([]uint64, levels),
+		once:        new(sync.Once),
+	}
+	for h := 0; h < levels; h++ {
+		var lv []float64
+		if h < len(a.levels) {
+			lv = append(lv, a.levels[h]...)
+			m.compactions[h] += a.compactions[h]
+		}
+		if h < len(b.levels) {
+			lv = append(lv, b.levels[h]...)
+			m.compactions[h] += b.compactions[h]
+		}
+		m.levels[h] = lv
+	}
+	for h := 0; h < len(m.levels); h++ {
+		if len(m.levels[h]) >= m.k {
+			m.compact(h)
+		}
+	}
+	return m, nil
+}
+
+// view returns the query cache, building it on first use after a
+// mutation. Safe for concurrent readers.
+func (s *Sketch) view() *view {
+	once := s.once
+	once.Do(func() {
+		total := s.Retained()
+		v := &view{
+			xs:  make([]float64, 0, total),
+			ws:  make([]float64, 0, total),
+			cum: make([]float64, total),
+		}
+		for h, lv := range s.levels {
+			w := float64(uint64(1) << uint(h))
+			for _, x := range lv {
+				v.xs = append(v.xs, x)
+				v.ws = append(v.ws, w)
+			}
+		}
+		sort.Sort(weightedSample{v.xs, v.ws})
+		var run float64
+		for i := range v.xs {
+			run += v.ws[i]
+			v.cum[i] = run
+		}
+		s.vw = v
+	})
+	return s.vw
+}
+
+// weightedSample sorts the paired value/weight slices by value (ties
+// by weight, for a fully deterministic order).
+type weightedSample struct{ xs, ws []float64 }
+
+func (p weightedSample) Len() int { return len(p.xs) }
+func (p weightedSample) Less(i, j int) bool {
+	if p.xs[i] != p.xs[j] {
+		return p.xs[i] < p.xs[j]
+	}
+	return p.ws[i] < p.ws[j]
+}
+func (p weightedSample) Swap(i, j int) {
+	p.xs[i], p.xs[j] = p.xs[j], p.xs[i]
+	p.ws[i], p.ws[j] = p.ws[j], p.ws[i]
+}
+
+// CDF implements dist.Dist: the estimated fraction of observations
+// ≤ x, by binary search on the weighted retained sample. In exact
+// mode it equals the ECDF exactly; otherwise within ErrorBound.
+func (s *Sketch) CDF(x float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	v := s.view()
+	i := sort.Search(len(v.xs), func(i int) bool { return v.xs[i] > x })
+	if i == 0 {
+		return 0
+	}
+	return v.cum[i-1] / float64(s.n)
+}
+
+// PDF implements dist.Dist with the same central finite difference of
+// the estimated CDF that dist.Empirical uses.
+func (s *Sketch) PDF(x float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	span := s.max - s.min
+	if span == 0 {
+		if x == s.min {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	h := span / math.Sqrt(float64(s.n))
+	return (s.CDF(x+h) - s.CDF(x-h)) / (2 * h)
+}
+
+// Quantile implements dist.Dist: the smallest retained value whose
+// cumulative weight reaches p·n. p=0 and p=1 map to the exact
+// tracked minimum and maximum of the stream.
+func (s *Sketch) Quantile(p float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return s.min
+	}
+	if p >= 1 {
+		return s.max
+	}
+	return s.quantileRank(p * float64(s.n))
+}
+
+// quantileRank returns the smallest retained value whose cumulative
+// weight is ≥ the target rank.
+func (s *Sketch) quantileRank(rank float64) float64 {
+	v := s.view()
+	i := sort.Search(len(v.cum), func(i int) bool { return v.cum[i] >= rank })
+	if i >= len(v.xs) {
+		i = len(v.xs) - 1
+	}
+	return v.xs[i]
+}
+
+// QuantileBatch implements dist.BatchQuantiler.
+func (s *Sketch) QuantileBatch(ps, dst []float64) {
+	for i, p := range ps {
+		dst[i] = s.Quantile(p)
+	}
+}
+
+// FitSample extracts an m-point pseudo-sample for the parametric
+// estimators: the quantiles at the integer ranks ⌈(i+1)·n/m⌉. When
+// the sketch is exact and m == n this reconstructs the sorted sample
+// exactly (the targets are computed in rank space, so no float
+// round-off can shift an index).
+func (s *Sketch) FitSample(m int) []float64 {
+	if s.n == 0 || m <= 0 {
+		return nil
+	}
+	out := make([]float64, m)
+	nf := float64(s.n)
+	mf := float64(m)
+	for i := 0; i < m; i++ {
+		rank := math.Ceil(float64(i+1) * nf / mf)
+		out[i] = s.quantileRank(rank)
+	}
+	return out
+}
+
+// Mean implements dist.Dist: the weighted mean of the retained
+// sample, accumulated in ascending order (bit-identical to
+// dist.Empirical in exact mode; within ErrorBound·(max−min) after).
+func (s *Sketch) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	v := s.view()
+	var sum float64
+	for i, x := range v.xs {
+		sum += x * v.ws[i]
+	}
+	return sum / float64(s.n)
+}
+
+// Var implements dist.Dist (population variance of the weighted
+// retained sample).
+func (s *Sketch) Var() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	mean := s.Mean()
+	v := s.view()
+	var m2 float64
+	for i, x := range v.xs {
+		d := x - mean
+		m2 += v.ws[i] * d * d
+	}
+	return m2 / float64(s.n)
+}
+
+// Sample implements dist.Dist: an inverse-CDF draw over the weighted
+// retained sample.
+func (s *Sketch) Sample(r *xrand.Rand) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.quantileRank(r.Float64Open() * float64(s.n))
+}
+
+// Support implements dist.Dist with the exactly-tracked stream
+// minimum and maximum (compaction may drop the extremes from the
+// levels, but never from these).
+func (s *Sketch) Support() (float64, float64) {
+	if s.n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	return s.min, s.max
+}
+
+// String implements dist.Dist.
+func (s *Sketch) String() string {
+	return fmt.Sprintf("Sketch(k=%d, n=%d, ±%.3g rank, mean=%.6g)", s.k, s.n, s.ErrorBound(), s.Mean())
+}
+
+// MinExpectation returns the expectation of the minimum of n i.i.d.
+// draws from the sketched distribution, in one exact pass over the
+// weighted retained sample:
+//
+//	E[Z(n)] = Σᵢ x₍ᵢ₎ · (Sᵢ₋₁ⁿ − Sᵢⁿ),  Sᵢ = 1 − cumᵢ/N,
+//
+// the same survival-step form dist.Empirical and survival.KaplanMeier
+// use — and the hook orderstat.Min dispatches on, so sketch-backed
+// models get the exact plug-in path with no quadrature. Bit-identical
+// to dist.Empirical in exact mode.
+func (s *Sketch) MinExpectation(n int) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if n <= 1 {
+		return s.Mean()
+	}
+	v := s.view()
+	nf := float64(n)
+	W := float64(s.n)
+	var sum float64
+	hi := 1.0
+	for i, x := range v.xs {
+		lo := math.Pow((W-v.cum[i])/W, nf)
+		sum += x * (hi - lo)
+		hi = lo
+	}
+	return sum
+}
+
+// MinSample draws one realization of min(X₁..Xₙ) by the inverse-CDF
+// identity Z(n) = Q(1-(1-U)^{1/n}) — the same O(1)-per-draw engine
+// dist.Empirical gives multiwalk.Simulate.
+func (s *Sketch) MinSample(n int, r *xrand.Rand) float64 {
+	u := r.Float64Open()
+	p := -math.Expm1(math.Log1p(-u) / float64(n))
+	return s.Quantile(p)
+}
+
+// sketchJSON is the canonical wire form: levels are sorted copies, so
+// the bytes depend only on the retained multiset (plus the compaction
+// counters that fix future parity), never on insertion order within a
+// level. nil levels marshal as [], keeping the form canonical.
+type sketchJSON struct {
+	V           int         `json:"v"`
+	K           int         `json:"k"`
+	N           uint64      `json:"n"`
+	Min         *float64    `json:"min,omitempty"`
+	Max         *float64    `json:"max,omitempty"`
+	Levels      [][]float64 `json:"levels"`
+	Compactions []uint64    `json:"compactions"`
+}
+
+// MarshalJSON implements json.Marshaler with a canonical,
+// multiset-determined byte form (see sketchJSON).
+func (s *Sketch) MarshalJSON() ([]byte, error) {
+	j := sketchJSON{
+		V:           SchemaVersion,
+		K:           s.k,
+		N:           s.n,
+		Levels:      make([][]float64, len(s.levels)),
+		Compactions: append([]uint64{}, s.compactions...),
+	}
+	if s.n > 0 {
+		mn, mx := s.min, s.max
+		j.Min, j.Max = &mn, &mx
+	}
+	for h, lv := range s.levels {
+		sorted := append([]float64{}, lv...)
+		sort.Float64s(sorted)
+		j.Levels[h] = sorted
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the schema
+// version, the capacity, finiteness of every retained value and the
+// weight invariant Σ_h |level_h|·2^h == n.
+func (s *Sketch) UnmarshalJSON(data []byte) error {
+	var j sketchJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.V > SchemaVersion {
+		return fmt.Errorf("%w: sketch schema %d, this release reads ≤ %d", ErrSketch, j.V, SchemaVersion)
+	}
+	base, err := New(j.K)
+	if err != nil {
+		return err
+	}
+	if len(j.Levels) == 0 || len(j.Compactions) != len(j.Levels) {
+		return fmt.Errorf("%w: %d levels with %d compaction counters", ErrSketch, len(j.Levels), len(j.Compactions))
+	}
+	if len(j.Levels) > 64 {
+		return fmt.Errorf("%w: %d levels", ErrSketch, len(j.Levels))
+	}
+	var weight uint64
+	for h, lv := range j.Levels {
+		if len(lv) >= j.K {
+			return fmt.Errorf("%w: level %d holds %d ≥ k=%d items", ErrSketch, h, len(lv), j.K)
+		}
+		for _, x := range lv {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("%w: non-finite retained value %v", ErrSketch, x)
+			}
+		}
+		weight += uint64(len(lv)) << uint(h)
+	}
+	if weight != j.N {
+		return fmt.Errorf("%w: retained weight %d does not cover n=%d", ErrSketch, weight, j.N)
+	}
+	base.n = j.N
+	base.levels = make([][]float64, len(j.Levels))
+	for h, lv := range j.Levels {
+		base.levels[h] = append([]float64(nil), lv...)
+	}
+	base.compactions = append([]uint64(nil), j.Compactions...)
+	if j.N > 0 {
+		if j.Min == nil || j.Max == nil || *j.Min > *j.Max ||
+			math.IsNaN(*j.Min) || math.IsInf(*j.Min, 0) || math.IsNaN(*j.Max) || math.IsInf(*j.Max, 0) {
+			return fmt.Errorf("%w: bad support", ErrSketch)
+		}
+		base.min, base.max = *j.Min, *j.Max
+	}
+	*s = *base
+	return nil
+}

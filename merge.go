@@ -3,6 +3,8 @@ package lasvegas
 import (
 	"fmt"
 	"strings"
+
+	"lasvegas/internal/sketch"
 )
 
 // Merge combines c with additional campaign shards collected on the
@@ -31,6 +33,16 @@ import (
 // merging shard by shard and merging all at once yield identical
 // campaigns.
 //
+// Sketch-backed shards fold: when any shard carries a quantile
+// sketch, the result carries the merge of every shard's sketch
+// (capacities must match — ErrMergeMismatch otherwise) alongside the
+// concatenated raw runs of the remaining shards, so NDJSON shard
+// streams pool exactly like raw shard arrays. While every sketch is
+// still exact (≤ k runs per shard) the folded sketch is byte-
+// identical to the one a single unsharded stream produces. Censored
+// shards cannot pool with sketch-backed ones (ErrMergeMismatch): the
+// merged campaign could not represent its censoring.
+//
 // c itself is not modified; the result shares no slices with the
 // inputs.
 func (c *Campaign) Merge(shards ...*Campaign) (*Campaign, error) {
@@ -48,14 +60,17 @@ func MergeCampaigns(shards ...*Campaign) (*Campaign, error) {
 		return nil, ErrEmptyCampaign
 	}
 	first := shards[0]
-	if first == nil || len(first.Iterations) == 0 {
+	if first == nil || first.TotalRuns() == 0 {
 		return nil, ErrEmptyCampaign
 	}
 	total := 0
+	rawTotal := 0
 	seconds := true
 	sameSeed := true
+	sketched := false
+	censored := false
 	for i, s := range shards {
-		if s == nil || len(s.Iterations) == 0 {
+		if s == nil || s.TotalRuns() == 0 {
 			return nil, fmt.Errorf("%w: shard %d", ErrEmptyCampaign, i)
 		}
 		if err := s.validate(); err != nil {
@@ -70,13 +85,19 @@ func MergeCampaigns(shards ...*Campaign) (*Campaign, error) {
 		if s.Budget != first.Budget {
 			return nil, fmt.Errorf("%w: budget %d vs %d", ErrMergeMismatch, s.Budget, first.Budget)
 		}
-		total += len(s.Iterations)
+		total += s.TotalRuns()
+		rawTotal += len(s.Iterations)
 		if len(s.Seconds) != len(s.Iterations) {
 			seconds = false
 		}
 		if s.Seed != first.Seed {
 			sameSeed = false
 		}
+		sketched = sketched || s.HasSketch()
+		censored = censored || s.IsCensored()
+	}
+	if sketched && censored {
+		return nil, fmt.Errorf("%w: censored shards cannot pool with sketch-backed shards", ErrMergeMismatch)
 	}
 	cover, err := shardCover(shards)
 	if err != nil {
@@ -87,14 +108,14 @@ func MergeCampaigns(shards ...*Campaign) (*Campaign, error) {
 		Size:       first.Size,
 		Runs:       total,
 		Budget:     first.Budget,
-		Iterations: make([]float64, 0, total),
+		Iterations: make([]float64, 0, rawTotal),
 		Metadata:   commonMetadata(shards),
 	}
 	if sameSeed && (len(shards) == 1 || cover) {
 		m.Seed = first.Seed
 	}
 	if seconds {
-		m.Seconds = make([]float64, 0, total)
+		m.Seconds = make([]float64, 0, rawTotal)
 	}
 	offset := 0
 	for _, s := range shards {
@@ -106,6 +127,22 @@ func MergeCampaigns(shards ...*Campaign) (*Campaign, error) {
 			m.Censored = append(m.Censored, offset+idx)
 		}
 		offset += len(s.Iterations)
+	}
+	if sketched {
+		for _, s := range shards {
+			if !s.HasSketch() {
+				continue
+			}
+			if m.Sketch == nil {
+				m.Sketch = s.Sketch.Clone()
+				continue
+			}
+			folded, err := sketch.Merge(m.Sketch, s.Sketch)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrMergeMismatch, err)
+			}
+			m.Sketch = folded
+		}
 	}
 	return m, nil
 }

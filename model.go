@@ -31,6 +31,11 @@ const (
 	// KaplanMeier is the nonparametric product-limit plug-in for
 	// censored campaigns, produced by PlugIn under WithCensoredFit.
 	KaplanMeier Family = "kaplan-meier"
+	// QuantileSketch is the nonparametric plug-in for sketch-backed
+	// campaigns: the mergeable quantile sketch itself as the runtime
+	// law (exact MinExpectation pass, no quadrature), produced by
+	// PlugIn when the campaign carries a sketch.
+	QuantileSketch Family = "sketch"
 )
 
 // Estimator kinds recorded on a Model (see Model.Estimator).
@@ -43,6 +48,12 @@ const (
 	EstimatorCensoredMLE = "censored-mle"
 	// EstimatorKaplanMeier marks the product-limit plug-in law.
 	EstimatorKaplanMeier = "kaplan-meier"
+	// EstimatorSketch marks a model estimated from a sketch-backed
+	// campaign: parametric families are fitted against the sketch's
+	// quantile pseudo-sample, and the plug-in law is the sketch
+	// itself. Accurate within the sketch's documented rank-error
+	// bound; exact while the sketch holds the full sample.
+	EstimatorSketch = "quantile-sketch"
 )
 
 // DefaultFamilies returns the candidate set the paper accepts fits
@@ -284,16 +295,56 @@ func toGoF(r ks.Result) GoodnessOfFit {
 // are rejected with ErrCensored unless WithCensoredFit is enabled, in
 // which case the censored maximum-likelihood estimators run instead
 // and candidates are ranked by censored log-likelihood with KS and AD
-// verdicts restricted to the uncensored region.
+// verdicts restricted to the uncensored region. Sketch-backed
+// campaigns fit against the sketch's quantile pseudo-sample and tag
+// their models EstimatorSketch — within the sketch's rank-error bound
+// of the raw-sample fit, with no dependence on the stream length.
 func (p *Predictor) FitAll(c *Campaign) ([]Candidate, error) {
 	if c != nil && c.IsCensored() && p.cfg.censoredFit {
 		return p.fitCensoredAll(c)
+	}
+	if c.HasSketch() && !c.IsCensored() {
+		return p.fitSketchAll(c)
 	}
 	sample, err := fitInput(c)
 	if err != nil {
 		return nil, err
 	}
 	return p.fitSample(sample)
+}
+
+// maxSketchFitSample caps the pseudo-sample the parametric estimators
+// see for sketch-backed campaigns: quantiles at evenly-spread ranks,
+// enough to saturate every estimator while keeping fits O(1) in the
+// stream length. Below the cap the pseudo-sample IS the sorted sample
+// whenever the sketch is still exact, so small sketch-backed
+// campaigns fit identically to raw ones up to summation order.
+const maxSketchFitSample = 4096
+
+// fitSketchAll is FitAll's sketch branch: the sketch's quantile
+// pseudo-sample through the ordinary complete-sample estimators, the
+// candidates' models tagged EstimatorSketch. KS/AD verdicts are
+// computed against the pseudo-sample and inherit the sketch's
+// rank-error bound.
+func (p *Predictor) fitSketchAll(c *Campaign) ([]Candidate, error) {
+	sk, err := c.RuntimeSketch(0)
+	if err != nil {
+		return nil, err
+	}
+	m := c.TotalRuns()
+	if m > maxSketchFitSample {
+		m = maxSketchFitSample
+	}
+	cands, err := p.fitSample(sk.FitSample(m))
+	if err != nil {
+		return nil, err
+	}
+	for i := range cands {
+		if cands[i].Model != nil {
+			cands[i].Model.estimator = EstimatorSketch
+		}
+	}
+	return cands, nil
 }
 
 // fitCensoredAll is FitAll's censored branch: the internal/survival
@@ -398,7 +449,11 @@ func (p *Predictor) Fit(c *Campaign) (*Model, error) {
 // the paper's model-free baseline predictor. Under WithCensoredFit a
 // censored campaign yields the Kaplan–Meier product-limit law
 // instead, whose step CDF, quantile and exact MinExpectation reduce
-// to the empirical ones when nothing is censored.
+// to the empirical ones when nothing is censored. A sketch-backed
+// campaign yields the QuantileSketch law — the sketch itself, which
+// keeps the exact one-pass MinExpectation form and matches the
+// empirical plug-in within the sketch's rank-error bound
+// (bit-identically, while the sketch is still exact).
 func (p *Predictor) PlugIn(c *Campaign) (*Model, error) {
 	if c != nil && c.IsCensored() && p.cfg.censoredFit {
 		values, flags := c.Observations()
@@ -418,6 +473,18 @@ func (p *Predictor) PlugIn(c *Campaign) (*Model, error) {
 		m.estimator = EstimatorKaplanMeier
 		return m, nil
 	}
+	if c.HasSketch() && !c.IsCensored() {
+		sk, err := c.RuntimeSketch(0)
+		if err != nil {
+			return nil, err
+		}
+		m, err := newModel(QuantileSketch, sk, p.cfg.alpha)
+		if err != nil {
+			return nil, err
+		}
+		m.estimator = EstimatorSketch
+		return m, nil
+	}
 	sample, err := fitInput(c)
 	if err != nil {
 		return nil, err
@@ -430,10 +497,15 @@ func (p *Predictor) PlugIn(c *Campaign) (*Model, error) {
 }
 
 // fitInput validates a campaign for estimation paths that require a
-// complete sample: non-empty and uncensored.
+// complete raw sample: non-empty, uncensored, and with per-run
+// observations (not only a sketch).
 func fitInput(c *Campaign) ([]float64, error) {
-	if c == nil || len(c.Iterations) == 0 {
+	if c == nil || c.TotalRuns() == 0 {
 		return nil, ErrEmptyCampaign
+	}
+	if len(c.Iterations) == 0 {
+		return nil, fmt.Errorf("%w: this path needs per-run observations (Fit, FitAll and PlugIn accept sketch-backed campaigns)",
+			ErrNoRawRuns)
 	}
 	if c.IsCensored() {
 		return nil, fmt.Errorf("%w: %d of %d runs hit the %d-iteration budget (Fit, FitAll and PlugIn accept censored campaigns under WithCensoredFit)",

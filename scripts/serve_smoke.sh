@@ -9,8 +9,12 @@
 # its snapshot log and answer fit/predict byte-identically without any
 # re-upload; and a two-replica group (-replica 0/2, 1/2 with -peers)
 # must answer every id byte-identically to the single instance through
-# either replica. Exits non-zero on any failed assertion; every daemon
-# is always shut down.
+# either replica. Finally the streaming pass: lvseq -format ndjson
+# pipes a campaign into the O(1)-memory NDJSON ingest, the
+# sketch-backed fit/predict must be sane and survive kill -9
+# byte-identically, and two shard streams pooled with {"merge_ids"}
+# must land on the single unsharded stream's content id. Exits
+# non-zero on any failed assertion; every daemon is always shut down.
 #
 #   scripts/serve_smoke.sh [port]
 #
@@ -260,5 +264,77 @@ wait "$pid1" 2>/dev/null || true
 wait "$pid2" 2>/dev/null || true
 pid1=""
 pid2=""
+
+# --- streaming: lvseq -format ndjson pipes into the O(1)-memory -----
+# ingest; the server keeps only a quantile sketch, fits off it, and
+# shard streams pooled by id land on the single stream's content hash.
+
+echo "== streaming: building lvseq and collecting the NDJSON streams"
+go build -o "$tmp/lvseq" ./cmd/lvseq
+"$tmp/lvseq" -problem costas -size 13 -runs 200 -seed 1 \
+    -format ndjson >"$tmp/full.ndjson" 2>/dev/null
+"$tmp/lvseq" -problem costas -size 13 -runs 200 -seed 1 -shard 0/2 \
+    -format ndjson >"$tmp/shard0.ndjson" 2>/dev/null
+"$tmp/lvseq" -problem costas -size 13 -runs 200 -seed 1 -shard 1/2 \
+    -format ndjson >"$tmp/shard1.ndjson" 2>/dev/null
+
+echo "== streaming: NDJSON upload folds into a sketch server-side"
+sdir="$tmp/streamdata"
+start_daemon -data-dir "$sdir"
+curl -fsS -H 'Content-Type: application/x-ndjson' --data-binary @"$tmp/full.ndjson" \
+    "$base/v1/campaigns" >"$tmp/stream_upload"
+sid="$(jq -r .id "$tmp/stream_upload")"
+[ -n "$sid" ] && [ "$sid" != null ]
+jq -e '.sketched == true and .runs == 200 and .problem == "costas-13"' \
+    "$tmp/stream_upload" >/dev/null
+
+echo "== streaming: sketch-backed fit and predict"
+code="$(curl -sS -o "$tmp/stream_fit.before" -w '%{http_code}' \
+    -d "{\"id\":\"$sid\"}" "$base/v1/fit")"
+[ "$code" = 200 ] || { echo "sketch fit returned $code: $(cat "$tmp/stream_fit.before")" >&2; exit 1; }
+jq -e '
+    .best.estimator == "quantile-sketch"
+    and .best.family != null and .best.mean > 0
+    and ([.candidates[] | select(.accepted)] | length >= 1)
+' "$tmp/stream_fit.before" >/dev/null
+curl -fsS "$base/v1/predict?id=$sid&cores=16,64,256&quantile=0.5&target=8" \
+    >"$tmp/stream_predict.before"
+jq -e '
+    (.speedups | length) == 3
+    and ([.speedups[].speedup] | . == (sort) and .[0] > 1)
+    and ([.speedups[] | select(.speedup > .cores)] | length == 0)
+    and ([.speedups[] | select(.min_expectation <= 0)] | length == 0)
+    and .quantiles[0].value > 0
+    and .cores_for_speedup.cores >= 8
+' "$tmp/stream_predict.before" >/dev/null
+
+echo "== streaming: shard streams pool to the single stream's id"
+for s in 0 1; do
+    curl -fsS -H 'Content-Type: application/x-ndjson' \
+        --data-binary @"$tmp/shard$s.ndjson" \
+        "$base/v1/campaigns" >"$tmp/stream_shard$s"
+    jq -e '.sketched == true' "$tmp/stream_shard$s" >/dev/null
+done
+s0="$(jq -r .id "$tmp/stream_shard0")"
+s1="$(jq -r .id "$tmp/stream_shard1")"
+curl -fsS -d "{\"merge_ids\":[\"$s0\",\"$s1\"]}" "$base/v1/campaigns" \
+    >"$tmp/stream_merge"
+jq -e '.merged_shards == 2 and .sketched == true and .runs == 200' "$tmp/stream_merge" >/dev/null
+[ "$(jq -r .id "$tmp/stream_merge")" = "$sid" ] || {
+    echo "merged shard sketches landed on $(jq -r .id "$tmp/stream_merge"), want $sid" >&2
+    exit 1
+}
+
+echo "== streaming: kill -9, replay, byte-identical sketch answers"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+start_daemon -data-dir "$sdir"
+curl -fsS -d "{\"id\":\"$sid\"}" "$base/v1/fit" >"$tmp/stream_fit.after"
+curl -fsS "$base/v1/predict?id=$sid&cores=16,64,256&quantile=0.5&target=8" \
+    >"$tmp/stream_predict.after"
+stop_daemon
+cmp "$tmp/stream_fit.before" "$tmp/stream_fit.after"
+cmp "$tmp/stream_predict.before" "$tmp/stream_predict.after"
 
 echo "serve smoke: OK"

@@ -1,0 +1,182 @@
+package lasvegas_test
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"lasvegas"
+)
+
+// TestCampaignSchemaRatchet locks the version ratchet: campaigns
+// without a sketch keep the byte-stable schema-2 wire form (and so
+// their content-addressed ids), sketch-backed campaigns write — and
+// round-trip through — schema 3.
+func TestCampaignSchemaRatchet(t *testing.T) {
+	raw := &lasvegas.Campaign{Problem: "x", Runs: 2, Iterations: []float64{3, 1}}
+	rawJSON, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rawJSON), `"schema":2`) {
+		t.Errorf("raw campaign marshals %s, want schema 2", rawJSON)
+	}
+	sketched, err := raw.Sketchify(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skJSON, err := json.Marshal(sketched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(skJSON), `"schema":3`) || !strings.Contains(string(skJSON), `"sketch"`) {
+		t.Errorf("sketch-backed campaign marshals %s, want schema 3 with a sketch", skJSON)
+	}
+	back := &lasvegas.Campaign{}
+	if err := json.Unmarshal(skJSON, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalRuns() != 2 || !back.HasSketch() || len(back.Iterations) != 0 {
+		t.Errorf("round-tripped campaign: %d total runs, sketch %v, %d raw",
+			back.TotalRuns(), back.HasSketch(), len(back.Iterations))
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(skJSON) {
+		t.Errorf("sketch-backed campaign not byte-stable:\n%s\nvs\n%s", again, skJSON)
+	}
+}
+
+// TestSketchifyAndRuntimeSketch covers the representation helpers: a
+// mixed campaign counts raw and sketched runs, RuntimeSketch folds
+// both, and Sketchify drops the per-run records.
+func TestSketchifyAndRuntimeSketch(t *testing.T) {
+	base := &lasvegas.Campaign{Problem: "x", Runs: 3, Iterations: []float64{10, 20, 30}}
+	sketched, err := base.Sketchify(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sketched.TotalRuns() != 3 || len(sketched.Iterations) != 0 || len(sketched.Seconds) != 0 {
+		t.Fatalf("Sketchify: %d total, %d raw, %d seconds", sketched.TotalRuns(), len(sketched.Iterations), len(sketched.Seconds))
+	}
+	// A mixed campaign: the sketch covers runs NOT in Iterations.
+	mixed := &lasvegas.Campaign{
+		Problem:    "x",
+		Runs:       5,
+		Iterations: []float64{40, 50},
+		Sketch:     sketched.Sketch,
+	}
+	if mixed.TotalRuns() != 5 {
+		t.Errorf("mixed TotalRuns = %d, want 5", mixed.TotalRuns())
+	}
+	sk, err := mixed.RuntimeSketch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.N() != 5 || sk.Mean() != 30 {
+		t.Errorf("mixed RuntimeSketch: n=%d mean=%v, want 5 runs with mean 30", sk.N(), sk.Mean())
+	}
+	// The stored sketch must not be mutated by the fold.
+	if sketched.Sketch.N() != 3 {
+		t.Errorf("RuntimeSketch mutated the stored sketch: n=%d", sketched.Sketch.N())
+	}
+
+	if _, err := (&lasvegas.Campaign{Problem: "x", Runs: 1, Iterations: []float64{5},
+		Censored: []int{0}, Budget: 5}).Sketchify(0); !errors.Is(err, lasvegas.ErrCensored) {
+		t.Errorf("Sketchify on a censored campaign: %v, want ErrCensored", err)
+	}
+	if err := sketched.WriteCSV(nil); !errors.Is(err, lasvegas.ErrNoRawRuns) {
+		t.Errorf("WriteCSV on a sketch-only campaign: %v, want ErrNoRawRuns", err)
+	}
+}
+
+// TestMergeSketchCensoredMismatch: a pooled campaign cannot represent
+// censoring flags inside a sketch, so the combination is refused.
+func TestMergeSketchCensoredMismatch(t *testing.T) {
+	sketched, err := (&lasvegas.Campaign{Problem: "x", Runs: 2, Iterations: []float64{1, 2}}).Sketchify(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	censored := &lasvegas.Campaign{Problem: "x", Runs: 2, Iterations: []float64{5, 5},
+		Censored: []int{0}, Budget: 5}
+	if _, err := sketched.Merge(censored); !errors.Is(err, lasvegas.ErrMergeMismatch) {
+		t.Errorf("sketch × censored merge: %v, want ErrMergeMismatch", err)
+	}
+}
+
+// TestSketchFitAgreesWithRawFit is the fixture-level acceptance
+// criterion: on the committed 200-run Costas-13 campaign — below the
+// sketch capacity, so the sketch is exact — the sketch-backed fit
+// must select the same family as the raw fit and agree on the model
+// up to floating-point summation order.
+func TestSketchFitAgreesWithRawFit(t *testing.T) {
+	c, err := lasvegas.LoadCampaign("testdata/campaign_costas13.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketched, err := c.Sketchify(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lasvegas.New()
+	rawModel, err := p.Fit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skModel, err := p.Fit(sketched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skModel.Family() != rawModel.Family() {
+		t.Errorf("sketch fit chose %s, raw fit %s", skModel.Family(), rawModel.Family())
+	}
+	if skModel.Estimator() != lasvegas.EstimatorSketch {
+		t.Errorf("sketch fit estimator %q, want %q", skModel.Estimator(), lasvegas.EstimatorSketch)
+	}
+	relClose := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Errorf("%s: sketch %v vs raw %v", name, got, want)
+		}
+	}
+	relClose("mean", skModel.Mean(), rawModel.Mean())
+	for _, n := range []int{16, 64, 256} {
+		gs, err := skModel.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := rawModel.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relClose("G(n)", gs, gr)
+	}
+
+	// The non-parametric plug-in path: the sketch-backed model carries
+	// the QuantileSketch family and the empirical model's numbers.
+	rawPlug, err := p.PlugIn(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skPlug, err := p.PlugIn(sketched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skPlug.Family() != lasvegas.QuantileSketch {
+		t.Errorf("sketch plug-in family %s, want %s", skPlug.Family(), lasvegas.QuantileSketch)
+	}
+	relClose("plug-in mean", skPlug.Mean(), rawPlug.Mean())
+	gs, err := skPlug.Speedup(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := rawPlug.Speedup(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relClose("plug-in G(64)", gs, gr)
+}

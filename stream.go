@@ -1,0 +1,165 @@
+package lasvegas
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// StreamSchemaVersion is the NDJSON campaign-stream schema version:
+// the value of the header's "stream" field. Readers accept every
+// version up to this one.
+const StreamSchemaVersion = 1
+
+// The NDJSON campaign wire format: one JSON value per line. The first
+// line is the header; every following line is one run record. This is
+// the O(1)-memory ingest path — ReadCampaignNDJSON folds records into
+// a quantile sketch as they arrive and never materializes the sample,
+// so `lvseq -format ndjson | curl --data-binary @-` can stream a
+// campaign of millions of runs into lvserve:
+//
+//	{"stream":1,"problem":"costas-13","size":13,"seed":1,"runs":200}
+//	{"iterations":1234,"seconds":0.01}
+//	{"iterations":871,"seconds":0.007}
+//	...
+//
+// The header's runs field, when > 0, declares the record count; a
+// stream that ends with a different count fails with ErrStream (a
+// torn upload must not become a silently smaller campaign). Records
+// carry complete runs only — censored campaigns cannot stream
+// (sketches store values, not censoring flags). Seconds are optional
+// and not folded into the sketch: the sketch-backed campaign tracks
+// the paper's scheduling-insensitive iteration measure.
+type streamHeader struct {
+	Stream   int               `json:"stream"`
+	Problem  string            `json:"problem,omitempty"`
+	Size     int               `json:"size,omitempty"`
+	Seed     uint64            `json:"seed,omitempty"`
+	Runs     int               `json:"runs,omitempty"`
+	Metadata map[string]string `json:"metadata,omitempty"`
+}
+
+// streamRecord is one run. Iterations is a pointer so a record
+// missing the field (e.g. a header line appearing mid-stream) is
+// distinguishable from iterations: 0 and rejected.
+type streamRecord struct {
+	Iterations *float64 `json:"iterations"`
+	Seconds    float64  `json:"seconds,omitempty"`
+}
+
+// WriteNDJSON streams the campaign's raw runs to w in the NDJSON wire
+// format (header line, then one record per line) — the emitter behind
+// `lvseq -format ndjson`. Censored campaigns fail with ErrCensored
+// and campaigns that keep no raw runs with ErrNoRawRuns: the stream
+// carries per-run records, which neither has.
+func (c *Campaign) WriteNDJSON(w io.Writer) error {
+	if c == nil || c.TotalRuns() == 0 {
+		return ErrEmptyCampaign
+	}
+	if c.IsCensored() {
+		return fmt.Errorf("%w: NDJSON streams carry complete runs only", ErrCensored)
+	}
+	if len(c.Iterations) == 0 {
+		return fmt.Errorf("%w: nothing to stream", ErrNoRawRuns)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(streamHeader{
+		Stream:   StreamSchemaVersion,
+		Problem:  c.Problem,
+		Size:     c.Size,
+		Seed:     c.Seed,
+		Runs:     len(c.Iterations),
+		Metadata: c.Metadata,
+	}); err != nil {
+		return err
+	}
+	withSeconds := len(c.Seconds) == len(c.Iterations)
+	for i, it := range c.Iterations {
+		rec := streamRecord{Iterations: &it}
+		if withSeconds {
+			rec.Seconds = c.Seconds[i]
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCampaignNDJSON reads an NDJSON campaign stream from r, folding
+// every record into a quantile sketch of capacity k (DefaultSketchK
+// when k ≤ 0) as it is decoded — memory stays O(k·log(n/k)) whatever
+// the stream length. The returned campaign is sketch-backed: Runs and
+// Sketch.N() are the record count, Iterations is empty.
+//
+// Malformed streams fail with ErrStream: a missing or
+// newer-than-supported header, a record without finite iterations, or
+// a stream whose record count contradicts the header's declared runs.
+// An error from r itself (e.g. http.MaxBytesReader's overflow) is
+// returned as-is for the caller to map.
+func ReadCampaignNDJSON(r io.Reader, k int) (*Campaign, error) {
+	dec := json.NewDecoder(r)
+	var hdr streamHeader
+	if err := dec.Decode(&hdr); err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("%w: empty stream", ErrStream)
+		}
+		return nil, streamErr(err, "bad header")
+	}
+	if hdr.Stream < 1 {
+		return nil, fmt.Errorf("%w: first line is not a stream header (missing \"stream\" field)", ErrStream)
+	}
+	if hdr.Stream > StreamSchemaVersion {
+		return nil, fmt.Errorf("%w: stream schema %d, this release reads ≤ %d", ErrStream, hdr.Stream, StreamSchemaVersion)
+	}
+	sk, err := NewSketch(k)
+	if err != nil {
+		return nil, err
+	}
+	count := 0
+	for {
+		var rec streamRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, streamErr(err, fmt.Sprintf("bad record %d", count+1))
+		}
+		if rec.Iterations == nil {
+			return nil, fmt.Errorf("%w: record %d has no iterations", ErrStream, count+1)
+		}
+		if err := sk.Add(*rec.Iterations); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrStream, count+1, err)
+		}
+		count++
+	}
+	if count == 0 {
+		return nil, ErrEmptyCampaign
+	}
+	if hdr.Runs > 0 && count != hdr.Runs {
+		return nil, fmt.Errorf("%w: header declares %d runs but the stream carried %d (torn upload?)",
+			ErrStream, hdr.Runs, count)
+	}
+	return &Campaign{
+		Problem:  hdr.Problem,
+		Size:     hdr.Size,
+		Seed:     hdr.Seed,
+		Runs:     count,
+		Metadata: hdr.Metadata,
+		Sketch:   sk,
+	}, nil
+}
+
+// streamErr wraps a decode failure as ErrStream, but passes reader
+// errors (connection drops, body-size caps) through untouched so
+// callers can map them: a *json.SyntaxError or type error is a
+// malformed stream; anything else came from r.
+func streamErr(err error, what string) error {
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &syn) || errors.As(err, &typ) || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: %s: %v", ErrStream, what, err)
+	}
+	return err
+}
