@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-smoke bench-compare serve-smoke serve-chaos loadgen docs-check
+.PHONY: all build vet test test-short bench bench-smoke bench-compare serve-smoke serve-chaos serve-converge loadgen docs-check
 
 all: build vet test
 
@@ -42,6 +42,13 @@ serve-smoke:
 # queues and byte-identical answers from every replica.
 serve-chaos:
 	sh scripts/serve_chaos.sh
+
+# The anti-entropy half of the chaos gauntlet: destroy the hint logs
+# after writing past a dead replica and require the background digest
+# exchange — observed through healthz only — to restore every missing
+# copy.
+serve-converge:
+	CHAOS_PASS=converge sh scripts/serve_chaos.sh
 
 # The full-size drill: same harness, longer load and a bigger working
 # set.

@@ -34,6 +34,25 @@
 // retries with jittered backoff, and a per-peer circuit breaker whose
 // state /v1/healthz reports.
 //
+// Convergence and consistency knobs:
+//
+//   - -anti-entropy-interval paces the background digest exchanger:
+//     each replica periodically compares per-hash-range digests
+//     (campaign-id sets plus a pooled quantile-sketch fingerprint)
+//     with the other owners of its ranges and pulls whatever it is
+//     missing through hash-verified fetches. A replica that lost its
+//     hint log — or its whole store — converges in bounded rounds
+//     with no client traffic. 0 keeps the 15s default; a negative
+//     interval disables the exchanger.
+//   - -write-quorum W makes a write ack only after W owners have
+//     fsync'd the campaign (the default 1 acks after the local
+//     fsync); fewer reachable owners is a 503, though every accepted
+//     copy stays durable and hinted for redelivery.
+//   - -read-quorum R makes a read confirm R owners hold a verified
+//     copy before answering, push-repairing owners that are alive but
+//     missing it. Choosing R+W > k buys read-your-writes at the price
+//     of refusing (503) while too few owners are reachable.
+//
 // Quickstart (collect two shards on different machines, merge and
 // predict through the daemon):
 //
@@ -93,6 +112,9 @@ func main() {
 		replFac   = flag.Int("replication-factor", 1, "replicas on each campaign's preference list (k; ≥ 2 survives a dead replica)")
 		peerTO    = flag.Duration("peer-timeout", 0, "per-call timeout for short peer endpoints: fit/predict forwards, replication writes, repair fetches (0 = 15s)")
 		collectTO = flag.Duration("peer-collect-timeout", 0, "per-call timeout for forwarded campaign uploads (0 = 2m)")
+		writeQ    = flag.Int("write-quorum", 0, "owner fsyncs required before a write acks (0 = 1; must be ≤ replication factor)")
+		readQ     = flag.Int("read-quorum", 0, "owner copies confirmed before a read answers (0 = 1; must be ≤ replication factor)")
+		aeEvery   = flag.Duration("anti-entropy-interval", 0, "digest-exchange period for background convergence (0 = 15s; negative disables)")
 	)
 	flag.Parse()
 
@@ -125,6 +147,10 @@ func main() {
 		ReplicationFactor:  *replFac,
 		PeerTimeout:        *peerTO,
 		PeerCollectTimeout: *collectTO,
+
+		WriteQuorum:         *writeQ,
+		ReadQuorum:          *readQ,
+		AntiEntropyInterval: *aeEvery,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"lasvegas/internal/store"
+)
+
+// TestCrossReplicaFitSingleFlight is the acceptance test for fit
+// sharing: a concurrent /v1/fit herd spread over all k owners of a
+// campaign must cost the group exactly ONE fit computation — the id's
+// primary owner computes, every other owner adopts the rendered
+// response — and every request must get the same bytes.
+func TestCrossReplicaFitSingleFlight(t *testing.T) {
+	g := newGroup(t, 3, 3, Config{AntiEntropyInterval: -1}) // k = n: all 3 own every id
+	id := g.uploadSynth(0, synthCampaign(t, 40))
+	primary := store.Owner(id, 3)
+	fitBody := []byte(fmt.Sprintf(`{"id":%q}`, id))
+
+	const herd = 12
+	responses := make([][]byte, herd)
+	statuses := make([]int, herd)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], responses[i] = g.do(i%3, "POST", "/v1/fit", fitBody)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < herd; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("herd request %d (replica %d): status %d, body %s",
+				i, i%3, statuses[i], responses[i])
+		}
+		if !bytes.Equal(responses[i], responses[0]) {
+			t.Errorf("herd request %d answer diverges:\n%s\nvs\n%s", i, responses[i], responses[0])
+		}
+	}
+
+	// Exactly one owner computed; the other two hold adopted renderings
+	// instead of models.
+	computed, adopted := 0, 0
+	for i := range g.srv {
+		e, err := g.srv[i].store.Get(id)
+		if err != nil {
+			t.Fatalf("replica %d lost the campaign: %v", i, err)
+		}
+		if _, ok := e.CachedFit(); ok {
+			computed++
+			if i != primary {
+				t.Errorf("replica %d computed a fit but the id's primary owner is %d", i, primary)
+			}
+		}
+		if e.AdoptedFit() != nil {
+			adopted++
+		}
+	}
+	if computed != 1 {
+		t.Errorf("%d owners computed a fit for the herd, want exactly 1", computed)
+	}
+	if adopted != 2 {
+		t.Errorf("%d owners adopted a peer rendering, want 2", adopted)
+	}
+
+	// A later request to a secondary serves its adopted copy with no
+	// further coordination, still byte-identical.
+	status, resp := g.do((primary+1)%3, "POST", "/v1/fit", fitBody)
+	if status != http.StatusOK || !bytes.Equal(resp, responses[0]) {
+		t.Errorf("post-herd fit via secondary: status %d, body %s", status, resp)
+	}
+}
+
+// TestFitSharePrimaryDownFallsBack: fit sharing is an optimization,
+// never an availability dependency — with the id's primary owner dead,
+// a secondary's fit must still succeed by computing locally.
+func TestFitSharePrimaryDownFallsBack(t *testing.T) {
+	g := newGroup(t, 3, 3, Config{AntiEntropyInterval: -1})
+	id := g.uploadSynth(0, synthCampaign(t, 41))
+	primary := store.Owner(id, 3)
+	secondary := (primary + 1) % 3
+
+	g.kill(primary)
+	status, resp := g.do(secondary, "POST", "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, id)))
+	if status != http.StatusOK {
+		t.Fatalf("fit via secondary with primary down: status %d, body %s", status, resp)
+	}
+	e, err := g.srv[secondary].store.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.CachedFit(); !ok {
+		t.Error("secondary did not fall back to a local fit with the primary down")
+	}
+}
+
+// TestInternalFitCacheNeverComputes: the probe endpoint is strictly
+// read-only — an id with no finished fit is a 404, and probing must
+// not leave a fit behind.
+func TestInternalFitCacheNeverComputes(t *testing.T) {
+	g := newGroup(t, 2, 2, Config{AntiEntropyInterval: -1})
+	id := g.uploadSynth(0, synthCampaign(t, 42))
+
+	status, body := g.do(0, "GET", "/v1/internal/fit-cache?id="+id, nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("fit-cache probe before any fit: status %d, body %s, want 404", status, body)
+	}
+	e, err := g.srv[0].store.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.CachedFit(); ok {
+		t.Error("probing the fit cache computed a fit")
+	}
+
+	// After a real fit, the probe serves the identical rendering.
+	status, direct := g.do(0, "POST", "/v1/fit", []byte(fmt.Sprintf(`{"id":%q}`, id)))
+	if status != http.StatusOK {
+		t.Fatalf("fit: status %d, body %s", status, direct)
+	}
+	status, cached := g.do(0, "GET", "/v1/internal/fit-cache?id="+id, nil)
+	if status != http.StatusOK || !bytes.Equal(cached, direct) {
+		t.Errorf("fit-cache probe after fit: status %d; bytes match direct fit: %v",
+			status, bytes.Equal(cached, direct))
+	}
+
+	status, _ = g.do(0, "GET", "/v1/internal/fit-cache?id=c0000000000000000", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("fit-cache probe for unknown id: status %d, want 404", status)
+	}
+}

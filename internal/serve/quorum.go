@@ -1,0 +1,81 @@
+package serve
+
+// Quorum reads and writes: the R/W knobs over the k-way replication.
+//
+// The default contract is ack-after-one-fsync (W = 1) and
+// any-single-owner reads (R = 1): fast, and with hinted handoff plus
+// anti-entropy the group converges quickly — but between the ack and
+// the convergence a reader hitting a stale owner can miss the write.
+// Callers that need read-your-writes pick W and R with R+W > k: every
+// read quorum then overlaps every write quorum in at least one owner,
+// and content addressing turns "overlap" into "the answer" — one
+// verified copy is every copy, since an id can only ever name one
+// byte string. The price is availability: a write needs W live owners
+// and a read needs R confirmable ones, so what used to degrade
+// silently now fails loudly with 503 until the group heals.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"lasvegas/internal/store"
+)
+
+// errWriteQuorum and errReadQuorum mark quorum shortfalls; statusFor
+// maps both to 503 (transient, retryable — not a client mistake).
+var (
+	errWriteQuorum = errors.New("serve: write quorum not met")
+	errReadQuorum  = errors.New("serve: read quorum not met")
+)
+
+// quorumRead confirms that at least R owners hold a verified copy of
+// e before a read is answered. The local copy (the caller just got it
+// from the store, or read-repaired it) counts as one; each other
+// owner is confirmed by a hash-verified peek, with a push-repair and
+// a re-peek when the peer is alive but missing the id — so a read
+// quorum doesn't just observe convergence, it manufactures it. Fewer
+// than R confirmable owners is an error (503), never a degraded
+// answer.
+func (s *Server) quorumRead(ctx context.Context, e *store.Entry, owners []int) error {
+	if s.readQ < 2 {
+		return nil
+	}
+	confirmed := 1 // the local copy
+	for _, o := range owners {
+		if confirmed >= s.readQ {
+			return nil
+		}
+		if o == s.self {
+			continue
+		}
+		if s.confirmPeerCopy(ctx, o, e) {
+			confirmed++
+		}
+	}
+	if confirmed >= s.readQ {
+		return nil
+	}
+	return fmt.Errorf("%w: %d/%d owners hold a verified copy of %s", errReadQuorum, confirmed, s.readQ, e.ID)
+}
+
+// confirmPeerCopy reports whether one peer owner verifiably holds e's
+// campaign. A peek that comes back hash-verified is confirmation; a
+// peer that answers but lacks the id (or holds bytes that don't hash
+// to it — peekPeer rejects those) gets the canonical bytes pushed and
+// is peeked again, so the only unconfirmable peer is one that can't
+// take a copy at all.
+func (s *Server) confirmPeerCopy(ctx context.Context, peer int, e *store.Entry) bool {
+	if c, _ := s.peekPeer(ctx, peer, e.ID); c != nil {
+		return true
+	}
+	_, canonical, err := store.Encode(e.Campaign)
+	if err != nil {
+		return false
+	}
+	if err := s.sendReplicate(ctx, peer, canonical); err != nil {
+		return false
+	}
+	c, _ := s.peekPeer(ctx, peer, e.ID)
+	return c != nil
+}

@@ -43,14 +43,30 @@
 // Config.ReplicaCount. Campaign ids are consistent-hashed onto a
 // preference list of Config.ReplicationFactor replicas
 // (store.Owners: the owning hash range plus the next k-1 ranges);
-// writes fan out to every owner — acknowledged after the local fsync
-// plus best-effort peer acks, with failed peer writes queued in a
-// hinted-handoff journal and redelivered when the peer returns — and
-// reads are served by the first live owner, with read-repair on a
-// local miss (ids are content hashes, so "diverged" can only mean
-// "missing" and repair is a re-send). With k ≥ 2 the group survives
-// the loss of any single replica with no data loss and no
-// user-visible downtime.
+// writes fan out to every owner — acknowledged once Config.WriteQuorum
+// owners have fsync'd (default 1: the local fsync, peer copies
+// best-effort), with failed peer writes queued in a hinted-handoff
+// journal and redelivered when the peer returns — and reads are
+// served by the first live owner, with read-repair on a local miss
+// (ids are content hashes, so "diverged" can only mean "missing" and
+// repair is a re-send) and, with Config.ReadQuorum ≥ 2, confirmation
+// (push-repairing as needed) of R owner copies before the answer.
+// With k ≥ 2 the group survives the loss of any single replica with
+// no data loss and no user-visible downtime.
+//
+// Three convergence mechanisms stack, each covering the previous
+// one's blind spot: hinted handoff redelivers writes a down peer
+// missed; read-repair heals any copy a read happens to find missing;
+// and active anti-entropy (see antientropy.go) periodically exchanges
+// per-hash-range digests between the owners of each range and pulls
+// what's missing — so a replica whose hint log was destroyed (which
+// OpenHints now quarantines rather than refusing to boot on)
+// converges in bounded rounds with no client traffic at all.
+// GET /v1/internal/digest serves the digests, GET
+// /v1/internal/fit-cache serves finished fit outcomes so the k owners
+// of a hot campaign burn at most one fit between them (see
+// fitshare.go), and /v1/healthz reports the quorum knobs, exchanger
+// progress and any hint-log quarantine alongside the breaker states.
 //
 // Peer traffic flows through a dedicated client rather than a bare
 // http.Client: per-endpoint timeouts (Config.PeerTimeout for
@@ -96,6 +112,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -178,6 +195,29 @@ type Config struct {
 	// be orders of magnitude larger than a prediction query
 	// (default 2m).
 	PeerCollectTimeout time.Duration
+	// WriteQuorum is W: how many owner fsyncs a write needs before it
+	// is acknowledged (default 1 — ack after the local fsync, peer
+	// copies best-effort with hints). With W ≥ 2 an upload that
+	// reaches fewer than W owners fails loudly with 503 instead of
+	// silently degrading — the accepted copies stay durable and
+	// hinted, so a retry after the peer returns succeeds. Must not
+	// exceed ReplicationFactor.
+	WriteQuorum int
+	// ReadQuorum is R: how many owners must hold a verified copy of a
+	// campaign before a fit/predict on it is answered (default 1).
+	// Owners that are alive but missing the id are push-repaired and
+	// re-checked on the spot; fewer than R confirmable owners is a
+	// 503. R+W > ReplicationFactor gives read-your-writes through any
+	// owner. Must not exceed ReplicationFactor.
+	ReadQuorum int
+	// AntiEntropyInterval is the pause between digest-exchange rounds
+	// of the background anti-entropy loop (default 0 = 15s; negative
+	// disables). Each round compares per-hash-range digests with the
+	// other owners of every owned range and pulls campaigns this
+	// replica is missing, so a replica that lost hints still
+	// converges without waiting for a read. The loop only runs when
+	// both ReplicaCount and ReplicationFactor are ≥ 2.
+	AntiEntropyInterval time.Duration
 }
 
 // Server is the prediction daemon: a campaign/model store (in-memory
@@ -194,11 +234,23 @@ type Server struct {
 	peerc    *peerClient // dials peer replicas (breaker + retry/backoff)
 	hints    *store.Hints
 
+	writeQ int // write quorum W (1 = ack after the local fsync)
+	readQ  int // read quorum R (1 = any single owner answers)
+
 	closing   atomic.Bool
 	inflight  atomic.Int64  // requests currently inside Handler
 	drainKick chan struct{} // nudges the hint drainer after an enqueue
 	drainStop chan struct{} // closed by Shutdown
 	drainDone chan struct{} // closed when the drainer exits
+
+	aeInterval time.Duration // anti-entropy round pause (0 = loop off)
+	aeStop     chan struct{} // closed by Shutdown
+	aeDone     chan struct{} // closed when the exchanger exits
+	aeRounds   atomic.Int64  // completed digest-exchange rounds
+	aePulled   atomic.Int64  // campaigns pulled by anti-entropy
+
+	fitProbe   sync.Mutex // guards fitProbing
+	fitProbing map[string]*fitShareCall
 }
 
 // New returns a Server with cfg applied over the defaults. The error
@@ -292,6 +344,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PeerCollectTimeout <= 0 {
 		cfg.PeerCollectTimeout = 2 * time.Minute
 	}
+	writeQ, readQ := cfg.WriteQuorum, cfg.ReadQuorum
+	if writeQ < 1 {
+		writeQ = 1
+	}
+	if readQ < 1 {
+		readQ = 1
+	}
+	// A quorum above k could never be met — every write (or read)
+	// would fail, which is a configuration mistake, not a policy.
+	if writeQ > repl {
+		return nil, fmt.Errorf("serve: write quorum %d exceeds replication factor %d", writeQ, repl)
+	}
+	if readQ > repl {
+		return nil, fmt.Errorf("serve: read quorum %d exceeds replication factor %d", readQ, repl)
+	}
+	aeInterval := cfg.AntiEntropyInterval
+	if aeInterval == 0 {
+		aeInterval = defaultAntiEntropyInterval
+	}
+	if aeInterval < 0 {
+		aeInterval = 0 // explicitly disabled
+	}
 	var st store.Store
 	var hints *store.Hints
 	if cfg.DataDir != "" {
@@ -310,21 +384,32 @@ func New(cfg Config) (*Server, error) {
 		hints = store.NewHints()
 	}
 	s := &Server{
-		cfg:      cfg,
-		pred:     lasvegas.New(opts...),
-		store:    st,
-		gate:     store.NewGate(workers),
-		replicas: replicas,
-		self:     cfg.ReplicaIndex,
-		repl:     repl,
-		peerc:    newPeerClient(peers),
-		hints:    hints,
+		cfg:        cfg,
+		pred:       lasvegas.New(opts...),
+		store:      st,
+		gate:       store.NewGate(workers),
+		replicas:   replicas,
+		self:       cfg.ReplicaIndex,
+		repl:       repl,
+		peerc:      newPeerClient(peers),
+		hints:      hints,
+		writeQ:     writeQ,
+		readQ:      readQ,
+		fitProbing: make(map[string]*fitShareCall),
 	}
 	if replicas > 1 {
 		s.drainKick = make(chan struct{}, 1)
 		s.drainStop = make(chan struct{})
 		s.drainDone = make(chan struct{})
 		go s.drainHints()
+	}
+	// Anti-entropy only means something when ranges have multiple
+	// owners to compare against.
+	if replicas > 1 && repl > 1 && aeInterval > 0 {
+		s.aeInterval = aeInterval
+		s.aeStop = make(chan struct{})
+		s.aeDone = make(chan struct{})
+		go s.antiEntropyLoop()
 	}
 	return s, nil
 }
@@ -347,6 +432,10 @@ func (s *Server) Close() error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	if s.closing.Swap(true) {
 		return nil
+	}
+	if s.aeStop != nil {
+		close(s.aeStop)
+		<-s.aeDone
 	}
 	if s.drainStop != nil {
 		close(s.drainStop)
@@ -380,6 +469,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/predict", s.handlePredict)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/internal/campaign", s.handleInternalCampaign)
+	mux.HandleFunc("GET /v1/internal/digest", s.handleInternalDigest)
+	mux.HandleFunc("GET /v1/internal/fit-cache", s.handleInternalFitCache)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.closing.Load() {
 			status := http.StatusServiceUnavailable // 503
@@ -506,9 +597,37 @@ type healthResponse struct {
 	// for down peers, awaiting redelivery. 0 means the group has
 	// converged.
 	Hints int `json:"hints"`
+	// HintsQuarantined flags a corrupt hint log set aside at boot:
+	// the replica is serving, but hints it had promised may be lost
+	// until anti-entropy reconverges them.
+	HintsQuarantined bool `json:"hints_quarantined,omitempty"`
+	// Quorum reports the write/read quorum knobs (W/R out of k).
+	Quorum quorumHealth `json:"quorum"`
+	// AntiEntropy reports the digest exchanger's progress; absent
+	// when the exchanger is not running (single replica, k = 1, or
+	// a negative AntiEntropyInterval).
+	AntiEntropy *antiEntropyHealth `json:"anti_entropy,omitempty"`
 	// Peers reports each foreign peer's circuit-breaker state, so an
 	// operator can see which replicas this one considers dead.
 	Peers []peerHealth `json:"peers,omitempty"`
+}
+
+// quorumHealth is the W/R quorum configuration on the healthz wire.
+type quorumHealth struct {
+	Write int `json:"write"`
+	Read  int `json:"read"`
+}
+
+// antiEntropyHealth is the digest exchanger's healthz snapshot.
+type antiEntropyHealth struct {
+	// IntervalMillis is the pause between digest-exchange rounds.
+	IntervalMillis float64 `json:"interval_ms"`
+	// Rounds counts completed exchange rounds since boot.
+	Rounds int64 `json:"rounds"`
+	// Pulled counts campaigns this replica pulled from peers via
+	// anti-entropy (repairs it would otherwise have waited on a read
+	// or a hint for).
+	Pulled int64 `json:"pulled"`
 }
 
 // peerHealth is one peer's circuit-breaker state on the healthz wire.
@@ -661,16 +780,25 @@ func (s *Server) storeCampaign(w http.ResponseWriter, r *http.Request, c *lasveg
 		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	// This replica owns the id: the write is acknowledged once the
-	// local store has fsync'd it, with best-effort synchronous acks
-	// from the other owners — any peer that can't take its copy right
-	// now gets a durable hint instead, so the ack never waits on a
-	// dead replica and the copy is never forgotten.
+	// This replica owns the id: the write is acknowledged once W
+	// owners (the local store always being one) have fsync'd it.
+	// With the default W = 1 peer copies are best-effort — any peer
+	// that can't take its copy right now gets a durable hint instead,
+	// so the ack never waits on a dead replica and the copy is never
+	// forgotten. With W ≥ 2 a write that lands on fewer than W owners
+	// fails loudly (503): the accepted copies are still durable and
+	// hinted, so the client may retry once the group heals, but it is
+	// never told "replicated" when it wasn't.
 	if _, err := s.store.AddEncoded(id, canonical, c); err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.replicate(r.Context(), owners, id, canonical)
+	acks := 1 + s.replicate(r.Context(), owners, id, canonical)
+	if acks < s.writeQ {
+		s.writeError(w, fmt.Errorf("%w: %d/%d owner fsyncs for %s (the accepted copies are durable and hinted for redelivery)",
+			errWriteQuorum, acks, s.writeQ, id))
+		return
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -687,8 +815,9 @@ func ownedBy(owners []int, self int) bool {
 // replicate sends a just-accepted write to every other owner on the
 // preference list, journaling a hint for each peer that fails — the
 // write is already locally durable, so a failed peer costs a hint,
-// never the upload.
-func (s *Server) replicate(ctx context.Context, owners []int, id string, canonical []byte) {
+// never the upload. It reports how many peers acknowledged, which is
+// what the write-quorum check counts.
+func (s *Server) replicate(ctx context.Context, owners []int, id string, canonical []byte) (peerAcks int) {
 	for _, o := range owners {
 		if o == s.self {
 			continue
@@ -699,8 +828,11 @@ func (s *Server) replicate(ctx context.Context, owners []int, id string, canonic
 			// read-repair rather than failing the upload.
 			s.hints.Enqueue(o, id, canonical)
 			s.kickDrain()
+			continue
 		}
+		peerAcks++
 	}
+	return peerAcks
 }
 
 // sendReplicate delivers one replication write (marked so the
@@ -836,11 +968,30 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	if err := s.quorumRead(r.Context(), e, owners); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// Before burning a fit, see whether another owner already has one
+	// to adopt (or whether the primary owner should be the only
+	// replica computing it).
+	if a := s.sharedFit(r.Context(), r.Header, e, owners); a != nil {
+		a.write(w)
+		return
+	}
 	cands, best, err := s.fit(r.Context(), e)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
+	s.writeFitResponse(w, e, cands, best)
+}
+
+// writeFitResponse renders a fit outcome exactly as POST /v1/fit
+// answers it. The internal fit-cache endpoint shares this renderer,
+// which is what makes an adopted peer response byte-identical to a
+// locally computed one.
+func (s *Server) writeFitResponse(w http.ResponseWriter, e *store.Entry, cands []lasvegas.Candidate, best *lasvegas.Model) {
 	resp := fitResponse{ID: e.ID, Problem: e.Campaign.Problem, Best: best}
 	for _, c := range cands {
 		cr := candidateResponse{Family: c.Family, Law: c.Law}
@@ -878,6 +1029,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	if err := s.quorumRead(r.Context(), e, owners); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// Predict needs the Model itself (its queries are computed here,
+	// not rendered elsewhere), and models don't round-trip the wire —
+	// so predict always fits locally. The fit is still single-flight
+	// per process, and a /v1/fit on the same id adopts across
+	// replicas, so the fleet burns at most one fit per owner.
 	_, model, err := s.fit(r.Context(), e)
 	if err != nil {
 		s.writeError(w, err)
@@ -940,7 +1100,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.store.Stats()
 	lo, hi := store.ShardRange(s.self, s.replicas)
-	s.writeJSON(w, http.StatusOK, healthResponse{
+	hr := healthResponse{
 		Status:            "ok",
 		Campaigns:         st.Campaigns,
 		Bytes:             st.Bytes,
@@ -951,8 +1111,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		ReplayMillis:      float64(st.ReplayDuration) / 1e6,
 		ReplicationFactor: s.repl,
 		Hints:             s.hints.Depth(),
+		HintsQuarantined:  s.hints.Quarantined(),
+		Quorum:            quorumHealth{Write: s.writeQ, Read: s.readQ},
 		Peers:             s.peerc.Snapshot(s.self),
-	})
+	}
+	if s.aeInterval > 0 {
+		hr.AntiEntropy = &antiEntropyHealth{
+			IntervalMillis: float64(s.aeInterval) / 1e6,
+			Rounds:         s.aeRounds.Load(),
+			Pulled:         s.aePulled.Load(),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, hr)
 }
 
 // handleInternalCampaign serves this replica's local copy of a
@@ -1243,6 +1413,10 @@ func statusFor(err error) int {
 		// ErrNoRawRuns likewise: the campaign is valid but the request
 		// needs per-run records its sketch no longer holds.
 		return http.StatusUnprocessableEntity // 422
+	case errors.Is(err, errWriteQuorum), errors.Is(err, errReadQuorum):
+		// A quorum the group cannot currently assemble is a transient
+		// availability failure, not a client mistake: retryable.
+		return http.StatusServiceUnavailable // 503
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return 499 // client closed request (nginx convention)
 	default:

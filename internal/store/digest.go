@@ -1,0 +1,112 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"lasvegas"
+)
+
+// Digest summarizes one replica's holdings for one hash range — the
+// unit of comparison in anti-entropy. Two replicas holding the same
+// campaigns for a range produce byte-identical digests (ids are
+// sorted, campaigns are content-addressed, and the sketch fold is
+// deterministic), so a single byte comparison short-circuits the
+// common all-converged case before any per-id work.
+type Digest struct {
+	// Range is the hash-range index the digest covers.
+	Range int `json:"range"`
+	// IDs lists the resident campaign ids hashing into the range,
+	// sorted. Content addressing means set difference is the whole
+	// diff: one id can never name divergent bytes on two replicas.
+	IDs []string `json:"campaigns,omitempty"`
+	// Sketch is the canonical serialization of the range's pooled
+	// runtime quantile sketch (every mergeable campaign's
+	// RuntimeSketch merged in sorted-id order), or empty when the
+	// range holds nothing mergeable. It rides along as a cheap
+	// semantic fingerprint of the range's runtime mass: byte-equal
+	// sketches with equal id sets mean the replicas would hand every
+	// downstream fit identical observations.
+	Sketch json.RawMessage `json:"sketch,omitempty"`
+}
+
+// BuildRangeDigest digests the campaigns of st that hash into range
+// rangeIdx of replicas. sketchK (≤ 0 = lasvegas.DefaultSketchK) fixes
+// the fold capacity; campaigns whose sketch cannot join the pool —
+// censored ones (RuntimeSketch refuses them) or sketch-backed ones of
+// a different capacity (Merge requires equal k) — are skipped from
+// the sketch, never from IDs. The skip rule depends only on campaign
+// content, so replicas with equal holdings still digest identically.
+func BuildRangeDigest(st Store, rangeIdx, replicas, sketchK int) (*Digest, error) {
+	if sketchK <= 0 {
+		sketchK = lasvegas.DefaultSketchK
+	}
+	d := &Digest{Range: rangeIdx}
+	var pool *lasvegas.Sketch
+	for _, id := range st.IDs() {
+		if Owner(id, replicas) != rangeIdx {
+			continue
+		}
+		d.IDs = append(d.IDs, id)
+		e, err := st.Get(id)
+		if err != nil {
+			continue // evicted between IDs and Get; the next round re-digests
+		}
+		rs, err := e.Campaign.RuntimeSketch(sketchK)
+		if err != nil || rs.K() != sketchK {
+			continue
+		}
+		if pool == nil {
+			pool = rs
+			continue
+		}
+		if merged, err := lasvegas.MergeSketches(pool, rs); err == nil {
+			pool = merged
+		}
+	}
+	if pool != nil {
+		raw, err := pool.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		d.Sketch = raw
+	}
+	return d, nil
+}
+
+// Equal reports whether two digests describe identical holdings.
+func (d *Digest) Equal(o *Digest) bool {
+	if d == nil || o == nil {
+		return d == o
+	}
+	if d.Range != o.Range || len(d.IDs) != len(o.IDs) || !bytes.Equal(d.Sketch, o.Sketch) {
+		return false
+	}
+	for i := range d.IDs {
+		if d.IDs[i] != o.IDs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MissingIDs returns the ids present in d but absent from o — what a
+// replica holding o must pull to converge on d's range. Both id lists
+// are sorted, so this is a linear merge walk.
+func (d *Digest) MissingIDs(o *Digest) []string {
+	var missing []string
+	i, j := 0, 0
+	for i < len(d.IDs) {
+		switch {
+		case j >= len(o.IDs) || d.IDs[i] < o.IDs[j]:
+			missing = append(missing, d.IDs[i])
+			i++
+		case d.IDs[i] == o.IDs[j]:
+			i++
+			j++
+		default:
+			j++
+		}
+	}
+	return missing
+}

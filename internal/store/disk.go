@@ -191,6 +191,9 @@ func (d *Disk) rewind() {
 // Get implements Store.
 func (d *Disk) Get(id string) (*Entry, error) { return d.mem.Get(id) }
 
+// IDs implements Store.
+func (d *Disk) IDs() []string { return d.mem.IDs() }
+
 // Len implements Store.
 func (d *Disk) Len() int { return d.mem.Len() }
 

@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"sort"
 	"sync"
@@ -34,12 +36,13 @@ type Hint struct {
 // crash between delivery and truncation merely redelivers. Safe for
 // concurrent use.
 type Hints struct {
-	mu      sync.Mutex
-	pending map[int][]*Hint // per-peer FIFO queues
-	queued  map[string]bool // "peer/id" dedup of pending hints
-	f       *os.File        // nil for a memory-only journal
-	broken  error           // set when a failed append could not be rolled back
-	bytes   int64
+	mu          sync.Mutex
+	pending     map[int][]*Hint // per-peer FIFO queues
+	queued      map[string]bool // "peer/id" dedup of pending hints
+	f           *os.File        // nil for a memory-only journal
+	broken      error           // set when a failed append could not be rolled back
+	bytes       int64
+	quarantined bool // a corrupt log was set aside at OpenHints
 }
 
 // hintLog is the journal file inside a Disk store's data directory.
@@ -54,15 +57,36 @@ func NewHints() *Hints {
 	}
 }
 
+// errCorruptHintLog marks a complete hint-log record that fails to
+// parse — corruption past the torn-tail case the truncation handles.
+var errCorruptHintLog = errors.New("store: corrupt hint log record")
+
 // OpenHints opens (creating if needed) the durable journal at path,
 // replaying every complete record into the pending queues. Like the
 // snapshot log, a torn final record — a crash between write and
-// fsync — is provably unacknowledged and is truncated away, while any
-// complete record that fails to parse is a hard error.
+// fsync — is provably unacknowledged and is truncated away.
+//
+// Unlike the snapshot log, a *complete* record that fails to parse is
+// not fatal: the journal only promises redelivery of writes that are
+// already durable on the hinting replica, so the worst a lost hint
+// costs is a peer converging through anti-entropy instead of through
+// handoff — whereas refusing to boot takes the whole replica (and
+// every campaign it owns) offline. The corrupt log is renamed to
+// path+".corrupt" for the operator, the event is logged loudly, and
+// the journal starts empty; Quarantined reports it for healthz.
 func OpenHints(path string) (*Hints, error) {
 	h := NewHints()
 	good, err := h.replay(path)
-	if err != nil {
+	if errors.Is(err, errCorruptHintLog) {
+		qpath := path + ".corrupt"
+		if rerr := os.Rename(path, qpath); rerr != nil {
+			return nil, fmt.Errorf("store: quarantining corrupt hint log: %v (%w)", rerr, err)
+		}
+		log.Printf("store: %v — quarantined the hint log to %s and starting empty; its undelivered hints now converge via anti-entropy", err, qpath)
+		h = NewHints()
+		h.quarantined = true
+		good = 0
+	} else if err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
@@ -107,7 +131,7 @@ func (h *Hints) replay(path string) (good int64, err error) {
 		if len(bytes.TrimSpace(rec)) != 0 {
 			var hint Hint
 			if err := json.Unmarshal(rec, &hint); err != nil {
-				return 0, fmt.Errorf("store: hint log record at offset %d: %w", good, err)
+				return 0, fmt.Errorf("%w at offset %d: %v", errCorruptHintLog, good, err)
 			}
 			h.enqueue(&hint)
 		}
@@ -233,6 +257,15 @@ func (h *Hints) Depth() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.queued)
+}
+
+// Quarantined reports whether OpenHints found a corrupt log and set
+// it aside — the replica booted, but hints it had promised may be
+// lost until anti-entropy reconverges them.
+func (h *Hints) Quarantined() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quarantined
 }
 
 // DepthFor reports the pending hints owed to one peer.

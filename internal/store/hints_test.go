@@ -187,7 +187,7 @@ func TestHintsTruncateOnDrain(t *testing.T) {
 
 // TestHintsTornTail: a hint record missing its newline (crash between
 // write and fsync) is dropped on replay; a complete but corrupt
-// record is a hard error.
+// record quarantines the whole log (see TestHintsQuarantine).
 func TestHintsTornTail(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, hintLog)
@@ -216,11 +216,62 @@ func TestHintsTornTail(t *testing.T) {
 	}
 	h2.Close()
 
-	// A complete corrupt record refuses to open.
+	// A complete corrupt record no longer refuses to open — it
+	// quarantines (the replica must boot so anti-entropy can heal it).
 	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenHints(path); err == nil {
-		t.Fatal("corrupt complete record must fail OpenHints")
+	h3, err := OpenHints(path)
+	if err != nil {
+		t.Fatalf("corrupt complete record must quarantine, not fail: %v", err)
 	}
+	if !h3.Quarantined() {
+		t.Fatal("Quarantined() = false after opening a corrupt log")
+	}
+	h3.Close()
+}
+
+// TestHintsQuarantine: a corrupt hint log is set aside as
+// hints.log.corrupt (bytes intact, for the operator), the journal
+// boots empty and stays fully usable — enqueue, drain, truncate —
+// and the next clean open is not marked quarantined.
+func TestHintsQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, hintLog)
+	corrupt := `{"peer":1,"id":"a","campaign":{"x":1}}` + "\n" + "garbage not json\n"
+	if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := OpenHints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Quarantined() {
+		t.Fatal("Quarantined() = false")
+	}
+	if h.Depth() != 0 {
+		t.Fatalf("quarantined journal starts with depth %d, want 0 (even the parseable prefix is set aside whole)", h.Depth())
+	}
+	kept, err := os.ReadFile(path + ".corrupt")
+	if err != nil {
+		t.Fatalf("quarantine file: %v", err)
+	}
+	if string(kept) != corrupt {
+		t.Fatalf("quarantine file bytes changed:\n%q\nwant\n%q", kept, corrupt)
+	}
+
+	// The fresh journal is durable again: enqueue survives a reopen.
+	mustEnqueue(t, h, 2, "b", `{"y":2}`)
+	h.Close()
+	h2, err := OpenHints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Quarantined() {
+		t.Fatal("clean reopen still reports quarantined")
+	}
+	if h2.Depth() != 1 || h2.DepthFor(2) != 1 {
+		t.Fatalf("depth after reopen = %d, want 1", h2.Depth())
+	}
+	h2.Close()
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"sort"
 	"sync"
 
 	"lasvegas"
@@ -80,6 +81,18 @@ func (m *Memory) Get(id string) (*Entry, error) {
 		return e, nil
 	}
 	return nil, unknown(id)
+}
+
+// IDs implements Store.
+func (m *Memory) IDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.entries))
+	for id := range m.entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // Len implements Store.

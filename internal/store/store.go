@@ -37,7 +37,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lasvegas"
@@ -62,6 +64,9 @@ type Store interface {
 	// Get returns the entry for id, or an error wrapping
 	// ErrUnknownCampaign.
 	Get(id string) (*Entry, error)
+	// IDs lists the resident campaign ids, sorted — the raw material
+	// for anti-entropy range digests.
+	IDs() []string
 	// Len reports the number of resident campaigns.
 	Len() int
 	// Stats reports occupancy and durability counters for healthz.
@@ -160,6 +165,49 @@ func Owners(id string, replicas, k int) []int {
 	return owners
 }
 
+// RangeOwners lists the replicas holding copies of hash range r: the
+// range's own replica plus the next k-1 around the ring — the same
+// ring walk as Owners, but keyed by range rather than by id, so the
+// anti-entropy exchanger knows which peers to compare a range with.
+func RangeOwners(r, replicas, k int) []int {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > replicas {
+		k = replicas
+	}
+	owners := make([]int, k)
+	for i := range owners {
+		owners[i] = (r + i) % replicas
+	}
+	return owners
+}
+
+// OwnedRanges lists the hash ranges replica self holds copies of
+// under k-way replication: its own range plus the k-1 ranges
+// preceding it around the ring (the inverse of RangeOwners),
+// ascending. These are exactly the ranges self must keep converged.
+func OwnedRanges(self, replicas, k int) []int {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > replicas {
+		k = replicas
+	}
+	ranges := make([]int, k)
+	for i := range ranges {
+		ranges[i] = ((self-i)%replicas + replicas) % replicas
+	}
+	sort.Ints(ranges)
+	return ranges
+}
+
 // ShardRange returns the half-open [lo, hi] bounds of the hash range
 // replica `index` of `replicas` owns (hi is inclusive for the last
 // replica so the whole uint64 space is covered).
@@ -197,7 +245,40 @@ type Entry struct {
 	Campaign *lasvegas.Campaign
 
 	fit fitCell
+
+	// adopted caches an opaque serve-layer value (a peer's rendered
+	// fit response) adopted instead of computing locally; it rides the
+	// entry so it evicts with the campaign.
+	adopted atomic.Value
 }
+
+// FitOutcome is a completed fit's cached result, as reported by
+// CachedFit. Exactly one of (Model, Err) describes the outcome: a
+// deterministic fit error (ErrCensored, ErrNoAcceptableFit) is itself
+// a cacheable outcome.
+type FitOutcome struct {
+	Candidates []lasvegas.Candidate
+	Model      *lasvegas.Model
+	Err        error
+}
+
+// CachedFit reports the entry's fit outcome without triggering or
+// waiting for a computation: ok is false while no fit has completed,
+// including while one is in flight. The serve layer answers peer
+// fit-cache probes from this, so a probe can never be the thing that
+// makes a replica burn a fit.
+func (e *Entry) CachedFit() (out FitOutcome, ok bool) {
+	return e.fit.peek()
+}
+
+// AdoptFit attaches an opaque non-nil value (the serve layer stores a
+// peer's rendered fit response) to the entry. Adoption is
+// last-writer-wins; fits being deterministic, every writer stores
+// equivalent bytes.
+func (e *Entry) AdoptFit(v any) { e.adopted.Store(v) }
+
+// AdoptedFit returns the value stored by AdoptFit, or nil.
+func (e *Entry) AdoptedFit() any { return e.adopted.Load() }
 
 // Fit returns the entry's fit, computing it at most once
 // (single-flight): concurrent callers for one campaign block on the
@@ -240,6 +321,20 @@ func (f *fitCell) do(ctx context.Context, gate Gate, c *lasvegas.Campaign, fn Fi
 		return nil, nil, f.fitErr
 	}
 	return f.cands, f.model, nil
+}
+
+// peek reports the cell's outcome if (and only if) a fit has
+// completed. TryLock rather than Lock: a cell mid-computation is
+// "nothing cached yet", not something worth blocking on.
+func (f *fitCell) peek() (FitOutcome, bool) {
+	if !f.mu.TryLock() {
+		return FitOutcome{}, false
+	}
+	defer f.mu.Unlock()
+	if !f.done {
+		return FitOutcome{}, false
+	}
+	return FitOutcome{Candidates: f.cands, Model: f.model, Err: f.fitErr}, true
 }
 
 // Gate bounds how many fit (and, in lvserve, collect) jobs run at

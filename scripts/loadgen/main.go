@@ -11,6 +11,14 @@
 //
 //	go run ./scripts/loadgen -targets http://h0:8080,http://h1:8080,http://h2:8080 -duration 30s
 //	go run ./scripts/loadgen -targets ... -verify -converge-timeout 60s
+//	go run ./scripts/loadgen -targets ... -wait-converged -expect-copies 32 -converge-timeout 60s
+//
+// -wait-converged is the passive half of the anti-entropy drill: it
+// issues no campaign reads or writes at all — only /v1/healthz polls —
+// until every hint queue is empty and the group holds -expect-copies
+// campaign copies in total. Because nothing in it can trigger
+// read-repair, reaching the expected copy count proves the background
+// digest exchange did the healing on its own.
 //
 // The workload is deterministic for a fixed -seed: -campaigns
 // synthetic exponential-runtime campaigns (the shape the paper's
@@ -59,7 +67,9 @@ func main() {
 		p99Budget  = flag.Duration("p99", 0, "fail if p99 latency exceeds this (0 = no latency gate)")
 		seed       = flag.Int64("seed", 1, "workload seed (campaign contents and op mix)")
 		verify     = flag.Bool("verify", false, "verify convergence instead of generating load")
-		convergeTO = flag.Duration("converge-timeout", 30*time.Second, "how long -verify waits for hint queues to drain")
+		convergeTO = flag.Duration("converge-timeout", 30*time.Second, "how long -verify and -wait-converged wait for convergence")
+		waitConv   = flag.Bool("wait-converged", false, "poll healthz only (no campaign reads or writes) until hints drain and -expect-copies holds")
+		expCopies  = flag.Int("expect-copies", 0, "with -wait-converged: total campaign copies the group must hold across all targets (0 = only require drained hints)")
 	)
 	flag.Parse()
 	if *targetsS == "" {
@@ -77,6 +87,12 @@ func main() {
 		retries: *retries,
 		backoff: *backoff,
 	}
+	// The passive mode must not seed: any upload would hand the group
+	// the very copies whose arrival it is supposed to observe.
+	if *waitConv {
+		os.Exit(lg.waitConverged(*expCopies, *convergeTO))
+	}
+
 	bodies := make([][]byte, *campaigns)
 	ids := make([]string, *campaigns)
 	for i := range bodies {
@@ -315,16 +331,16 @@ func (lg *loadgen) verify(bodies [][]byte, ids []string, convergeTO time.Duratio
 	// the group has not converged.
 	deadline := time.Now().Add(convergeTO)
 	for {
-		depth, err := lg.hintDepth()
+		st, err := lg.groupStats()
 		if err != nil {
 			fail("%v", err)
 			break
 		}
-		if depth == 0 {
+		if st.hints == 0 {
 			break
 		}
 		if time.Now().After(deadline) {
-			fail("hint queues still hold %d entries after %s", depth, convergeTO)
+			fail("hint queues still hold %d entries after %s", st.hints, convergeTO)
 			break
 		}
 		time.Sleep(200 * time.Millisecond)
@@ -397,24 +413,77 @@ func (lg *loadgen) directDo(target, method, path string, body []byte) (int, []by
 	return resp.StatusCode, data, time.Since(t0), err
 }
 
-// hintDepth sums the hinted-handoff backlog across all targets.
-func (lg *loadgen) hintDepth() (int, error) {
-	depth := 0
+// groupStats aggregates the group's healthz view: total hinted-handoff
+// backlog, total resident campaign copies, and total anti-entropy
+// pulls across all targets.
+type groupStats struct {
+	hints     int
+	campaigns int
+	aePulled  int64
+}
+
+func (lg *loadgen) groupStats() (groupStats, error) {
+	var st groupStats
 	for _, target := range lg.targets {
 		status, data, _, err := lg.directDo(target, "GET", "/v1/healthz", nil)
 		if err != nil {
-			return 0, fmt.Errorf("healthz via %s: %w", target, err)
+			return st, fmt.Errorf("healthz via %s: %w", target, err)
 		}
 		if status != http.StatusOK {
-			return 0, fmt.Errorf("healthz via %s: status %d", target, status)
+			return st, fmt.Errorf("healthz via %s: status %d", target, status)
 		}
 		var hr struct {
-			Hints int `json:"hints"`
+			Hints       int `json:"hints"`
+			Campaigns   int `json:"campaigns"`
+			AntiEntropy *struct {
+				Pulled int64 `json:"pulled"`
+			} `json:"anti_entropy"`
 		}
 		if err := json.Unmarshal(data, &hr); err != nil {
-			return 0, fmt.Errorf("healthz via %s: %w", target, err)
+			return st, fmt.Errorf("healthz via %s: %w", target, err)
 		}
-		depth += hr.Hints
+		st.hints += hr.Hints
+		st.campaigns += hr.Campaigns
+		if hr.AntiEntropy != nil {
+			st.aePulled += hr.AntiEntropy.Pulled
+		}
 	}
-	return depth, nil
+	return st, nil
+}
+
+// waitConverged polls healthz — and only healthz — until every hint
+// queue is empty and (when expectCopies > 0) the group holds exactly
+// that many campaign copies, then reports how the group got there.
+// Issuing no campaign traffic is the point: read-repair never fires,
+// so convergence observed here was manufactured by hinted handoff and
+// the anti-entropy exchanger alone.
+func (lg *loadgen) waitConverged(expectCopies int, convergeTO time.Duration) int {
+	deadline := time.Now().Add(convergeTO)
+	var st groupStats
+	for {
+		var err error
+		st, err = lg.groupStats()
+		if err == nil && st.hints == 0 && (expectCopies == 0 || st.campaigns == expectCopies) {
+			break
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: wait-converged: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr,
+					"loadgen: wait-converged: %d hints pending, %d/%d copies after %s\n",
+					st.hints, st.campaigns, expectCopies, convergeTO)
+			}
+			return 1
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	out, _ := json.Marshal(struct {
+		Converged bool  `json:"converged"`
+		Copies    int   `json:"copies"`
+		AEPulled  int64 `json:"anti_entropy_pulled"`
+		Targets   int   `json:"targets"`
+	}{true, st.campaigns, st.aePulled, len(lg.targets)})
+	fmt.Println(string(out))
+	return 0
 }

@@ -1,8 +1,11 @@
 #!/bin/sh
-# Chaos drill for the lvserve replica group: boot three replicas with
-# -replication-factor 2, run the loadgen mixed workload against all of
-# them, kill -9 one replica a third of the way through, restart it at
-# two thirds, and gate on the group's availability contract —
+# Chaos drills for the lvserve replica group. Two passes share the
+# same three-replica, k=2 topology; CHAOS_PASS picks one:
+#
+# kill-restart (the default): run the loadgen mixed workload against
+# all three replicas, kill -9 one replica a third of the way through,
+# restart it at two thirds, and gate on the group's availability
+# contract —
 #
 #   * loadgen exits 0: zero failed requests after client-side retries
 #     and the p99 budget holds;
@@ -11,18 +14,36 @@
 #     all three replicas answer every fit/predict byte-identically —
 #     the restarted replica converged.
 #
+# converge (CHAOS_PASS=converge): prove the anti-entropy exchanger
+# heals what hinted handoff cannot. Seed one working set with all
+# replicas up, kill -9 replica 1, write a second working set past it
+# (its copies are only promises in the survivors' hint logs), then
+# kill the survivors and delete their hint logs before restarting
+# everyone — the promises are gone, so the only way replica 1 can get
+# its missing copies is the background digest exchange. The gate is
+# loadgen -wait-converged, which polls /v1/healthz and nothing else
+# (no campaign read ever fires, so read-repair cannot help), requiring
+# every hint queue empty and exactly (2 × campaigns × 2) resident
+# copies, plus healthz proof that replica 1 pulled via anti-entropy;
+# then -verify on both working sets requires byte-identical answers
+# from every replica.
+#
 #   scripts/serve_chaos.sh [port]
 #
 # Uses three consecutive ports starting at [port]. Env knobs (the CI
 # run is small; `make loadgen` turns them up):
 #
+#   CHAOS_PASS         kill-restart | converge  (default kill-restart)
 #   CHAOS_DURATION     load duration            (default 12s)
 #   CHAOS_CAMPAIGNS    synthetic working set    (default 8)
 #   CHAOS_CONCURRENCY  loadgen workers          (default 6)
 #   CHAOS_P99          p99 latency budget       (default 5s)
+#   ARTIFACTS_DIR      keep replica logs and loadgen reports here
+#                      (default: the drill's temp dir, removed on exit)
 set -eu
 
 port="${1:-18090}"
+pass="${CHAOS_PASS:-kill-restart}"
 duration="${CHAOS_DURATION:-12s}"
 campaigns="${CHAOS_CAMPAIGNS:-8}"
 concurrency="${CHAOS_CONCURRENCY:-6}"
@@ -30,6 +51,8 @@ p99="${CHAOS_P99:-5s}"
 cd "$(dirname "$0")/.."
 
 tmp="$(mktemp -d)"
+logs="${ARTIFACTS_DIR:-$tmp}"
+mkdir -p "$logs"
 pid0=""
 pid1=""
 pid2=""
@@ -57,6 +80,11 @@ p1=$((port + 1))
 p2=$((port + 2))
 peers="http://127.0.0.1:$p0,http://127.0.0.1:$p1,http://127.0.0.1:$p2"
 
+# The converge pass leans on a fast exchanger; the kill-restart pass
+# keeps the default cadence (its healing is handoff plus read-repair).
+aeint="0s"
+[ "$pass" = converge ] && aeint="1s"
+
 # start_replica <slot> — boots replica <slot>/3 on its port with its
 # own data dir; records the pid in $pid<slot>.
 start_replica() {
@@ -64,7 +92,8 @@ start_replica() {
     eval "p=\$p$i"
     "$tmp/lvserve" -addr "127.0.0.1:$p" -data-dir "$tmp/data$i" \
         -replica "$i/3" -replication-factor 2 -peers "$peers" \
-        >>"$tmp/replica$i.log" 2>&1 &
+        -anti-entropy-interval "$aeint" \
+        >>"$logs/replica$i.log" 2>&1 &
     eval "pid$i=$!"
 }
 
@@ -81,21 +110,89 @@ wait_healthy() {
     done
 }
 
-echo "== booting 3 replicas, k=2"
+echo "== booting 3 replicas, k=2 ($pass pass)"
 start_replica 0
 start_replica 1
 start_replica 2
-wait_healthy "http://127.0.0.1:$p0" "$tmp/replica0.log"
-wait_healthy "http://127.0.0.1:$p1" "$tmp/replica1.log"
-wait_healthy "http://127.0.0.1:$p2" "$tmp/replica2.log"
+wait_healthy "http://127.0.0.1:$p0" "$logs/replica0.log"
+wait_healthy "http://127.0.0.1:$p1" "$logs/replica1.log"
+wait_healthy "http://127.0.0.1:$p2" "$logs/replica2.log"
 curl -fsS "http://127.0.0.1:$p0/v1/healthz" | jq -e '
     .replication_factor == 2 and .hints == 0 and (.peers | length) == 2
 ' >/dev/null
 
+if [ "$pass" = converge ]; then
+    reqs=$((campaigns * 6))
+
+    echo "== working set 1: $campaigns campaigns, all replicas up"
+    "$tmp/loadgen" -targets "$peers" -campaigns "$campaigns" \
+        -concurrency "$concurrency" -requests "$reqs" -seed 1 \
+        >"$logs/load1.json" 2>"$logs/load1.err" ||
+        { cat "$logs/load1.json" "$logs/load1.err" >&2; exit 1; }
+    cat "$logs/load1.json"
+
+    echo "== chaos: kill -9 replica 1"
+    kill -9 "$pid1"
+    wait "$pid1" 2>/dev/null || true
+    pid1=""
+
+    echo "== working set 2 written past the dead replica (its copies are hints)"
+    "$tmp/loadgen" -targets "http://127.0.0.1:$p0,http://127.0.0.1:$p2" \
+        -campaigns "$campaigns" -concurrency "$concurrency" -requests "$reqs" -seed 2 \
+        >"$logs/load2.json" 2>"$logs/load2.err" ||
+        { cat "$logs/load2.json" "$logs/load2.err" >&2; exit 1; }
+    cat "$logs/load2.json"
+
+    echo "== chaos: vaporize the survivors' hint logs (kill -9, rm, restart)"
+    # rm on the live processes would be theater — the open fd and the
+    # in-memory queues would survive it. Kill first, then delete, then
+    # restart: the redelivery promises are genuinely gone.
+    kill -9 "$pid0"
+    wait "$pid0" 2>/dev/null || true
+    pid0=""
+    kill -9 "$pid2"
+    wait "$pid2" 2>/dev/null || true
+    pid2=""
+    rm -f "$tmp/data0/hints.log" "$tmp/data2/hints.log"
+    start_replica 0
+    start_replica 2
+    wait_healthy "http://127.0.0.1:$p0" "$logs/replica0.log"
+    wait_healthy "http://127.0.0.1:$p2" "$logs/replica2.log"
+    start_replica 1
+    wait_healthy "http://127.0.0.1:$p1" "$logs/replica1.log"
+
+    echo "== gate: anti-entropy alone must restore every missing copy"
+    # Two disjoint working sets, k = 2 owners each: the exact resident
+    # total once nothing is missing. -wait-converged never touches a
+    # campaign endpoint, so the copies it observes arriving cannot have
+    # been read-repaired into place.
+    expected=$((2 * campaigns * 2))
+    "$tmp/loadgen" -targets "$peers" -wait-converged \
+        -expect-copies "$expected" -converge-timeout 60s >"$logs/converge.json"
+    cat "$logs/converge.json"
+    jq -e '.converged == true and .anti_entropy_pulled >= 1' "$logs/converge.json" >/dev/null
+
+    echo "== gate: the healed replica pulled its copies itself"
+    curl -fsS "http://127.0.0.1:$p1/v1/healthz" | jq -e '
+        .hints == 0 and .anti_entropy.pulled >= 1 and .anti_entropy.rounds >= 1
+    ' >/dev/null
+
+    echo "== verify: byte-identical answers for both working sets"
+    "$tmp/loadgen" -targets "$peers" -campaigns "$campaigns" -seed 1 \
+        -verify -converge-timeout 60s >"$logs/verify1.json"
+    cat "$logs/verify1.json"
+    "$tmp/loadgen" -targets "$peers" -campaigns "$campaigns" -seed 2 \
+        -verify -converge-timeout 60s >"$logs/verify2.json"
+    cat "$logs/verify2.json"
+
+    echo "serve chaos (converge): OK"
+    exit 0
+fi
+
 echo "== loadgen: $duration of mixed load, $concurrency workers, $campaigns campaigns"
 "$tmp/loadgen" -targets "$peers" -campaigns "$campaigns" \
     -concurrency "$concurrency" -duration "$duration" -p99 "$p99" \
-    >"$tmp/loadgen.json" 2>"$tmp/loadgen.err" &
+    >"$logs/loadgen.json" 2>"$logs/loadgen.err" &
 loadpid=$!
 
 # Sleep fractions of the load window; POSIX sh lacks float math, so
@@ -113,26 +210,26 @@ pid1=""
 sleep "$third"
 echo "== chaos: restarting replica 1 on its old data dir"
 start_replica 1
-wait_healthy "http://127.0.0.1:$p1" "$tmp/replica1.log"
+wait_healthy "http://127.0.0.1:$p1" "$logs/replica1.log"
 
 echo "== waiting for loadgen"
 if ! wait "$loadpid"; then
     loadpid=""
     echo "loadgen failed:" >&2
-    cat "$tmp/loadgen.json" "$tmp/loadgen.err" >&2
+    cat "$logs/loadgen.json" "$logs/loadgen.err" >&2
     exit 1
 fi
 loadpid=""
-cat "$tmp/loadgen.json"
+cat "$logs/loadgen.json"
 
 # The kill must actually have been felt mid-load — a drill whose
 # window missed the workload proves nothing.
-jq -e '.requests > 0' "$tmp/loadgen.json" >/dev/null
+jq -e '.requests > 0' "$logs/loadgen.json" >/dev/null
 
 echo "== verify: convergence, zero lost campaigns, byte-identical answers"
 "$tmp/loadgen" -targets "$peers" -campaigns "$campaigns" \
-    -verify -converge-timeout 60s >"$tmp/verify.json"
-cat "$tmp/verify.json"
+    -verify -converge-timeout 60s >"$logs/verify.json"
+cat "$logs/verify.json"
 
 echo "== restarted replica replayed its log and drained to zero hints"
 curl -fsS "http://127.0.0.1:$p1/v1/healthz" | jq -e '

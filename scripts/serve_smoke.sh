@@ -43,6 +43,12 @@ cleanup() {
             wait "$p" 2>/dev/null || true
         fi
     done
+    # Keep the daemon logs for the CI failure artifact before the temp
+    # dir (fit/predict bodies and all) goes away.
+    if [ -n "${ARTIFACTS_DIR:-}" ]; then
+        mkdir -p "$ARTIFACTS_DIR"
+        cp "$tmp"/*.log "$ARTIFACTS_DIR"/ 2>/dev/null || true
+    fi
     rm -rf "$tmp"
     exit $status
 }
