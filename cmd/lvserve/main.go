@@ -75,6 +75,23 @@
 //	  curl -sS -H 'Content-Type: application/x-ndjson' --data-binary @- \
 //	  localhost:8080/v1/campaigns
 //	curl -sd '{"merge_ids":["<id0>","<id1>"]}' localhost:8080/v1/campaigns
+//
+// Observability: the daemon logs structured lines (slog) to stderr —
+// -log-format picks text or json, -log-level sets the floor (debug
+// shows converged anti-entropy rounds and breaker probe churn) — and
+// serves its own telemetry at GET /v1/metrics in Prometheus text
+// form: per-route request counts and sketch-backed latency quantiles,
+// peer-RPC latency, breaker transitions, hint queue depth and drain
+// rate, anti-entropy progress, fit single-flight outcomes and quorum
+// shortfalls. Every request carries a Lvserve-Trace-Id (the caller's,
+// or a fresh one) that is echoed on the response, propagated across
+// every peer hop, and stamped on each access-log line — grep one id
+// across the fleet's logs to see a request's whole fan-out.
+// -pprof-addr serves net/http/pprof on a second listener for CPU and
+// heap profiles (keep it off the public interface):
+//
+//	lvserve -addr :8080 -log-format json -pprof-addr 127.0.0.1:6060
+//	curl -s localhost:8080/v1/metrics | grep lvserve_request_latency_quantile
 package main
 
 import (
@@ -82,8 +99,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -115,8 +133,16 @@ func main() {
 		writeQ    = flag.Int("write-quorum", 0, "owner fsyncs required before a write acks (0 = 1; must be ≤ replication factor)")
 		readQ     = flag.Int("read-quorum", 0, "owner copies confirmed before a read answers (0 = 1; must be ≤ replication factor)")
 		aeEvery   = flag.Duration("anti-entropy-interval", 0, "digest-exchange period for background convergence (0 = 15s; negative disables)")
+		logFormat = flag.String("log-format", "text", "structured log encoding: text or json")
+		logLevel  = flag.String("log-level", "info", "log floor: debug, info, warn or error")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off; keep it off public interfaces)")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
 
 	families, err := parseFamilies(*familiesS)
 	if err != nil {
@@ -126,6 +152,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Tag every line with the replica slot: the fleet's logs merge into
+	// one stream (CI uploads them side by side) and stay attributable.
+	logger = logger.With("replica", fmt.Sprintf("%d/%d", replicaIndex, replicaCount))
 	var peers []string
 	if *peersS != "" {
 		peers = strings.Split(*peersS, ",")
@@ -151,15 +180,35 @@ func main() {
 		WriteQuorum:         *writeQ,
 		ReadQuorum:          *readQ,
 		AntiEntropyInterval: *aeEvery,
+		Logger:              logger,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer srv.Close()
 
+	// The pprof listener is its own mux on its own address: the
+	// default-mux registrations pprof's import side effect performs
+	// never reach the daemon's public handler.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Addr: *pprofAddr, Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "error", err)
+			}
+		}()
+	}
+
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(srv.Handler()),
+		Handler:           srv.Handler(), // access log + metrics + trace live inside
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {
@@ -167,7 +216,7 @@ func main() {
 		if *dataDir != "" {
 			storeKind = "durable store at " + *dataDir
 		}
-		log.Printf("lvserve: listening on %s (replica %d/%d, %s)", *addr, replicaIndex, replicaCount, storeKind)
+		logger.Info("listening", "addr", *addr, "store", storeKind)
 		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
 		}
@@ -176,7 +225,7 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("lvserve: shutting down")
+	logger.Info("shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	// Stop accepting first, then drain the daemon itself: in-flight
@@ -233,25 +282,23 @@ func parseFamilies(s string) ([]lasvegas.Family, error) {
 	return out, nil
 }
 
-// logRequests is the daemon's single middleware: one line per request.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(rec, r)
-		log.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
-	})
-}
-
-// statusRecorder captures the response status for the request log.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-func (r *statusRecorder) WriteHeader(status int) {
-	r.status = status
-	r.ResponseWriter.WriteHeader(status)
+// buildLogger assembles the process logger from the -log-format and
+// -log-level flags. The access log (one line per request, with trace
+// ID, status, bytes and duration) moved into the serve package, where
+// it shares the trace middleware; this is just the sink.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("lvserve: bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("lvserve: bad -log-format %q (want text or json)", format)
 }
 
 func fatal(err error) {

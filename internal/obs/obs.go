@@ -1,0 +1,397 @@
+// Package obs is the lvserve fleet's zero-dependency telemetry layer:
+// a metrics registry (counters, gauges, and quantile-sketch-backed
+// latency histograms) rendered in the Prometheus text exposition
+// format, plus the per-request trace-ID plumbing that makes one
+// client request one grep-able line set across every replica it
+// touches.
+//
+// # Dogfooding the sketch
+//
+// The paper's whole method is "observe the runtime distribution, then
+// predict" — and Hoos & Stützle (arXiv 1301.7383) argue that mean or
+// single-percentile point summaries of runtime behaviour mislead,
+// while the full runtime distribution is the observable worth
+// keeping. This package applies that lesson to the serving fleet
+// itself: per-endpoint latency is recorded into the same mergeable
+// quantile sketch (internal/sketch) the system sells to its users, so
+// /v1/metrics can expose *exact-until-compaction* p50/p90/p99 (not
+// pre-binned approximations) alongside conventional cumulative
+// histogram buckets derived from the sketch's CDF. The sketch is the
+// RTD of the server's own behaviour.
+//
+// # Design constraints
+//
+//   - Stdlib only. The daemon must not grow a client_golang
+//     dependency; the text exposition format is tiny and stable.
+//   - Deterministic rendering: families sorted by name, series sorted
+//     by label signature, floats formatted shortest-round-trip — two
+//     scrapes of identical state are byte-identical, which keeps the
+//     golden test honest.
+//   - Bounded cardinality is the caller's job: label values are
+//     expected to come from closed sets (route names, status classes,
+//     peer indices), never from request data.
+//
+// A Registry and everything it hands out are safe for concurrent use.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"lasvegas/internal/sketch"
+)
+
+// LatencyBuckets is the default cumulative-bucket ladder (seconds) a
+// latency Histogram renders: half a millisecond to ten seconds, the
+// span between a cached healthz answer and a cold censored-MLE fit.
+var LatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// quantiles are the exact quantile lines a Histogram exposes next to
+// its buckets (the p50/p90/p99 an operator actually pages on).
+var quantiles = []float64{0.5, 0.9, 0.99}
+
+// Registry holds metric families and renders them as Prometheus text.
+// Register every family once at construction time; With() handles the
+// per-label-set fan-out afterwards.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// family is one metric family: a name, help text, a type, fixed label
+// names, and the per-label-set series.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge" or "histogram"
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]any // labelSignature -> *Counter | *Histogram
+	gauge  func() float64 // label-less gauge callback (typ "gauge")
+
+	qname string // histogram only: the exact-quantile gauge family name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// register adds a family, panicking on a duplicate name — families
+// are wired once at Server construction, so a collision is a
+// programming error, not a runtime condition.
+func (r *Registry) register(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[f.name]; dup {
+		panic("obs: duplicate metric family " + f.name)
+	}
+	r.fams[f.name] = f
+	return f
+}
+
+// Counter registers a counter family with the given label names (none
+// is fine: With() with no values yields the single series).
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	f := r.register(&family{
+		name: name, help: help, typ: "counter",
+		labels: labels, series: make(map[string]any),
+	})
+	return &CounterVec{f: f}
+}
+
+// GaugeFunc registers a label-less gauge whose value is read by fn at
+// every scrape — the natural shape for "current depth" observables
+// (hint backlog, resident campaigns) that already live in the server.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: "gauge", gauge: fn})
+}
+
+// Histogram registers a latency-histogram family: each series folds
+// observations into a quantile sketch and renders cumulative buckets
+// (derived from the sketch CDF), _sum, _count, and — under the
+// separate gauge family qname with a "quantile" label — the sketch's
+// p50/p90/p99. qname may be empty to skip the quantile lines.
+func (r *Registry) Histogram(name, qname, help string, labels ...string) *HistogramVec {
+	f := r.register(&family{
+		name: name, help: help, typ: "histogram",
+		labels: labels, series: make(map[string]any), qname: qname,
+	})
+	if qname != "" {
+		// The quantile family reserves its name (duplicate registration
+		// must fail) but renders from the histogram's series.
+		r.register(&family{name: qname, typ: "quantile-alias"})
+	}
+	return &HistogramVec{f: f}
+}
+
+// --- counters ------------------------------------------------------
+
+// CounterVec is a counter family; With picks one labeled series.
+type CounterVec struct{ f *family }
+
+// Counter is one monotonically increasing series.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is a programming error and ignored).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// With returns the series for the given label values (created on
+// first use), which must match the registered label names in number.
+func (v *CounterVec) With(values ...string) *Counter {
+	s := v.f.seriesFor(values, func() any { return &Counter{} })
+	return s.(*Counter)
+}
+
+// --- histograms ----------------------------------------------------
+
+// HistogramVec is a histogram family; With picks one labeled series.
+type HistogramVec struct{ f *family }
+
+// Histogram folds observations (seconds) into a quantile sketch. One
+// mutex guards the sketch for both writers and the scraper — the
+// sketch itself is not safe for concurrent mutation.
+type Histogram struct {
+	mu    sync.Mutex
+	sk    *sketch.Sketch
+	sum   float64
+	count int64
+}
+
+// With returns the series for the given label values (created on
+// first use).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	s := v.f.seriesFor(values, func() any {
+		sk, err := sketch.New(0) // DefaultK
+		if err != nil {
+			panic(err) // sketch.New(0) cannot fail
+		}
+		return &Histogram{sk: sk}
+	})
+	return s.(*Histogram)
+}
+
+// Observe folds one latency observation in seconds. Non-finite or
+// negative values are dropped — a clock step must not poison the RTD.
+func (h *Histogram) Observe(seconds float64) {
+	if math.IsNaN(seconds) || math.IsInf(seconds, 0) || seconds < 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sk.Add(seconds) == nil {
+		h.sum += seconds
+		h.count++
+	}
+}
+
+// Quantile reports the sketch's estimate of the p-quantile (exact
+// while the series has seen fewer than the sketch capacity
+// observations), or NaN before the first observation.
+func (h *Histogram) Quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sk.Quantile(p)
+}
+
+// Count reports the number of observations folded in.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// snapshot captures the series under its lock for rendering.
+func (h *Histogram) snapshot() (buckets []int64, sum float64, count int64, qs []float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	buckets = make([]int64, len(LatencyBuckets))
+	for i, le := range LatencyBuckets {
+		// The sketch CDF is the estimated fraction ≤ le; scaled by n it
+		// is the cumulative bucket count (exact until compaction).
+		buckets[i] = int64(math.Round(h.sk.CDF(le) * float64(h.sk.N())))
+	}
+	qs = make([]float64, len(quantiles))
+	for i, p := range quantiles {
+		qs[i] = h.sk.Quantile(p)
+	}
+	return buckets, h.sum, h.count, qs
+}
+
+// --- series bookkeeping --------------------------------------------
+
+// seriesFor returns (creating on first use) the series keyed by the
+// given label values.
+func (f *family) seriesFor(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelSignature(f.labels, values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	f.series[key] = s
+	return s
+}
+
+// labelSignature renders a label set as the exposition-format
+// `{k="v",...}` block (empty for no labels). Doubles as the map key,
+// which makes render ordering and lookup agree by construction.
+func labelSignature(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// --- rendering -----------------------------------------------------
+
+// WriteText renders every family in the Prometheus text exposition
+// format (version 0.0.4), deterministically ordered.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// write renders one family (histograms render their quantile alias
+// family too, under its own TYPE header).
+func (f *family) write(w io.Writer) error {
+	if f.typ == "quantile-alias" {
+		return nil // rendered by its histogram family
+	}
+	var b strings.Builder
+	if f.help != "" {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+	}
+	fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+	switch f.typ {
+	case "gauge":
+		fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.gauge()))
+	case "counter":
+		for _, key := range f.sortedKeys() {
+			f.mu.Lock()
+			c := f.series[key].(*Counter)
+			f.mu.Unlock()
+			fmt.Fprintf(&b, "%s%s %d\n", f.name, key, c.Value())
+		}
+	case "histogram":
+		keys := f.sortedKeys()
+		for _, key := range keys {
+			f.mu.Lock()
+			h := f.series[key].(*Histogram)
+			f.mu.Unlock()
+			buckets, sum, count, _ := h.snapshot()
+			for i, le := range LatencyBuckets {
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, mergeLabels(key, "le", formatFloat(le)), buckets[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, mergeLabels(key, "le", "+Inf"), count)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, key, formatFloat(sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", f.name, key, count)
+		}
+		if f.qname != "" {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", f.qname)
+			for _, key := range keys {
+				f.mu.Lock()
+				h := f.series[key].(*Histogram)
+				f.mu.Unlock()
+				_, _, count, qs := h.snapshot()
+				if count == 0 {
+					continue // a NaN quantile line helps nobody
+				}
+				for i, p := range quantiles {
+					fmt.Fprintf(&b, "%s%s %s\n", f.qname,
+						mergeLabels(key, "quantile", formatFloat(p)), formatFloat(qs[i]))
+				}
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sortedKeys lists the family's label signatures, sorted.
+func (f *family) sortedKeys() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mergeLabels appends one extra label (le, quantile) to a label
+// signature.
+func mergeLabels(sig, name, value string) string {
+	extra := name + `="` + value + `"`
+	if sig == "" {
+		return "{" + extra + "}"
+	}
+	return sig[:len(sig)-1] + "," + extra + "}"
+}
+
+// formatFloat renders a float shortest-round-trip, the deterministic
+// exposition-format number form.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -41,6 +41,7 @@ import (
 	"strconv"
 	"time"
 
+	"lasvegas/internal/obs"
 	"lasvegas/internal/store"
 )
 
@@ -81,6 +82,11 @@ func (s *Server) antiEntropyLoop() {
 // replica running its own round) converges both sides of any
 // asymmetry.
 func (s *Server) antiEntropyRound(ctx context.Context) int {
+	// A round is background work with no originating request: it gets
+	// its own trace ID, which rides every digest fetch and pull so the
+	// donor replicas' access logs attribute the traffic to this round.
+	ctx = obs.WithTrace(ctx, obs.NewTraceID())
+	start := time.Now()
 	pulled := 0
 	for _, rg := range store.OwnedRanges(s.self, s.replicas, s.repl) {
 		local, err := store.BuildRangeDigest(s.store, rg, s.replicas, s.cfg.SketchK)
@@ -118,8 +124,18 @@ func (s *Server) antiEntropyRound(ctx context.Context) int {
 		}
 	}
 	s.aeRounds.Add(1)
+	d := time.Since(start)
+	s.met.aeRounds.With().Observe(d.Seconds())
 	if pulled > 0 {
 		s.aePulled.Add(int64(pulled))
+		s.met.aePulled.Add(int64(pulled))
+		// A pull means a copy had silently gone missing — worth a line.
+		// Converged rounds stay at debug so an idle group logs nothing.
+		s.logger.Info("anti-entropy pulled missing campaigns",
+			"pulled", pulled, "duration", d, "trace", obs.Trace(ctx))
+	} else {
+		s.logger.Debug("anti-entropy round converged",
+			"duration", d, "trace", obs.Trace(ctx))
 	}
 	return pulled
 }

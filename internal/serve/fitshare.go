@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"net/url"
 
+	"lasvegas/internal/obs"
 	"lasvegas/internal/store"
 )
 
@@ -76,6 +77,7 @@ func (s *Server) sharedFit(ctx context.Context, hdr http.Header, e *store.Entry,
 		return nil
 	}
 	if a, ok := e.AdoptedFit().(*adoptedFit); ok {
+		s.met.fitShare.With("adopted").Inc()
 		return a
 	}
 	if _, ok := e.CachedFit(); ok {
@@ -116,13 +118,27 @@ func (s *Server) probeOrDelegate(ctx context.Context, id string, owners []int) *
 			continue
 		}
 		if a := s.probeFitCache(ctx, o, id); a != nil {
+			s.met.fitShare.With("hit").Inc()
+			s.logger.Debug("fit adopted from peer cache",
+				"id", id, "peer", o, "trace", obs.Trace(ctx))
 			return a
 		}
 	}
 	if owners[0] == s.self {
+		s.met.fitShare.With("local").Inc()
 		return nil
 	}
-	return s.delegateFit(ctx, owners[0], id)
+	a := s.delegateFit(ctx, owners[0], id)
+	if a == nil {
+		// Primary unreachable (or answered non-deterministically):
+		// computing locally keeps the request alive.
+		s.met.fitShare.With("local").Inc()
+		return nil
+	}
+	s.met.fitShare.With("delegated").Inc()
+	s.logger.Debug("fit delegated to primary owner",
+		"id", id, "primary", owners[0], "trace", obs.Trace(ctx))
+	return a
 }
 
 // probeFitCache asks one peer whether it has a finished fit for id.

@@ -6,10 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
+
+	"lasvegas/internal/obs"
 )
 
 // errPeerDown is the fast-failure a tripped circuit breaker returns
@@ -36,6 +40,7 @@ var breakerStates = [...]string{"closed", "open", "half-open"}
 type breaker struct {
 	threshold int           // consecutive failures that trip it
 	cooldown  time.Duration // open -> half-open delay
+	notify    func(to int)  // called (unlocked) after each state change
 
 	mu       sync.Mutex
 	state    int
@@ -44,11 +49,14 @@ type breaker struct {
 	probing  bool      // a half-open probe is in flight
 }
 
-func newBreaker(threshold int, cooldown time.Duration) *breaker {
+func newBreaker(threshold int, cooldown time.Duration, notify func(to int)) *breaker {
 	if threshold < 1 {
 		threshold = 1
 	}
-	return &breaker{threshold: threshold, cooldown: cooldown}
+	if notify == nil {
+		notify = func(int) {}
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, notify: notify}
 }
 
 // Allow reports whether a request may be sent to the peer right now.
@@ -56,22 +64,27 @@ func newBreaker(threshold int, cooldown time.Duration) *breaker {
 // exactly one probe; further calls fail fast until the probe reports.
 func (b *breaker) Allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
+		b.mu.Unlock()
 		return true
 	case breakerOpen:
 		if time.Since(b.openedAt) < b.cooldown {
+			b.mu.Unlock()
 			return false
 		}
 		b.state = breakerHalfOpen
 		b.probing = true
+		b.mu.Unlock()
+		b.notify(breakerHalfOpen)
 		return true
 	default: // half-open
 		if b.probing {
+			b.mu.Unlock()
 			return false
 		}
 		b.probing = true
+		b.mu.Unlock()
 		return true
 	}
 }
@@ -81,10 +94,14 @@ func (b *breaker) Allow() bool {
 // breaker.
 func (b *breaker) Success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	reopened := b.state != breakerClosed
 	b.state = breakerClosed
 	b.failures = 0
 	b.probing = false
+	b.mu.Unlock()
+	if reopened {
+		b.notify(breakerClosed)
+	}
 }
 
 // Failure records a transport failure. The threshold-th consecutive
@@ -92,12 +109,17 @@ func (b *breaker) Success() {
 // restarts the cooldown.
 func (b *breaker) Failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	tripped := false
 	b.failures++
 	if b.state == breakerHalfOpen || b.failures >= b.threshold {
+		tripped = b.state != breakerOpen
 		b.state = breakerOpen
 		b.openedAt = time.Now()
 		b.probing = false
+	}
+	b.mu.Unlock()
+	if tripped {
+		b.notify(breakerOpen)
 	}
 }
 
@@ -120,6 +142,8 @@ type peerClient struct {
 	retries  int           // additional attempts after the first
 	backoff  time.Duration // base delay before the first retry
 	breakers []*breaker
+	met      *metrics     // peer RPC counters/latency + breaker transitions
+	logger   *slog.Logger // breaker transition log lines
 }
 
 // Peer-client failure tuning. The breaker trips after 3 consecutive
@@ -134,10 +158,22 @@ const (
 	peerBreakerCooldown  = 500 * time.Millisecond
 )
 
-func newPeerClient(peers []string) *peerClient {
+func newPeerClient(peers []string, met *metrics, logger *slog.Logger) *peerClient {
 	breakers := make([]*breaker, len(peers))
 	for i := range breakers {
-		breakers[i] = newBreaker(peerBreakerThreshold, peerBreakerCooldown)
+		peerLabel := strconv.Itoa(i)
+		breakers[i] = newBreaker(peerBreakerThreshold, peerBreakerCooldown, func(to int) {
+			state := breakerStates[to]
+			met.breakerTransitions.With(peerLabel, state).Inc()
+			// Opening is the operator-relevant event ("the group thinks
+			// replica i is dead"); the probe/close churn stays at debug.
+			level := slog.LevelDebug
+			if to == breakerOpen {
+				level = slog.LevelWarn
+			}
+			logger.Log(context.Background(), level, "peer breaker transition",
+				"peer", peerLabel, "to", state)
+		})
 	}
 	return &peerClient{
 		peers: peers,
@@ -147,6 +183,8 @@ func newPeerClient(peers []string) *peerClient {
 		retries:  peerRetries,
 		backoff:  peerBackoffBase,
 		breakers: breakers,
+		met:      met,
+		logger:   logger,
 	}
 }
 
@@ -156,7 +194,25 @@ func newPeerClient(peers []string) *peerClient {
 // errors are retried up to retries times with jittered exponential
 // backoff, each attempt under its own timeout; a parent-context
 // cancellation is returned as-is and not held against the peer.
+//
+// Every call is observed by endpoint: latency (retries and backoff
+// included — the cost the caller actually paid) and an ok/error
+// outcome counter.
 func (p *peerClient) do(ctx context.Context, peer int, timeout time.Duration, method, uri string, body []byte, header map[string]string) (*http.Response, error) {
+	start := time.Now()
+	resp, err := p.doRetrying(ctx, peer, timeout, method, uri, body, header)
+	endpoint := peerEndpoint(uri)
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	p.met.peerRequests.With(endpoint, outcome).Inc()
+	p.met.peerLatency.With(endpoint).Observe(time.Since(start).Seconds())
+	return resp, err
+}
+
+// doRetrying is do's breaker/retry loop, unobserved.
+func (p *peerClient) doRetrying(ctx context.Context, peer int, timeout time.Duration, method, uri string, body []byte, header map[string]string) (*http.Response, error) {
 	br := p.breakers[peer]
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -206,6 +262,11 @@ func (p *peerClient) attempt(ctx context.Context, peer int, timeout time.Duratio
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// The trace ID crosses every peer hop: the receiving replica reuses
+	// it, so one client request is one trace fleet-wide.
+	if tid := obs.Trace(ctx); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
+	}
 	for k, v := range header {
 		req.Header.Set(k, v)
 	}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"testing"
 	"time"
 )
@@ -13,7 +14,7 @@ import (
 // resets it.
 func TestBreakerTripHalfOpenReset(t *testing.T) {
 	const cooldown = 50 * time.Millisecond
-	b := newBreaker(3, cooldown)
+	b := newBreaker(3, cooldown, nil)
 
 	if !b.Allow() {
 		t.Fatal("fresh breaker must allow")
@@ -64,7 +65,7 @@ func TestBreakerTripHalfOpenReset(t *testing.T) {
 // TestBreakerSuccessResetsConsecutiveCount: failures only trip the
 // breaker when consecutive — any success in between starts over.
 func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
-	b := newBreaker(3, time.Minute)
+	b := newBreaker(3, time.Minute, nil)
 	for i := 0; i < 10; i++ {
 		b.Failure()
 		b.Failure()
@@ -82,7 +83,7 @@ func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
 // do() fails fast with errPeerDown instead of dialing again.
 func TestPeerClientFastFailure(t *testing.T) {
 	// 127.0.0.1:1 — reserved, nothing listens; connects fail instantly.
-	p := newPeerClient([]string{"http://127.0.0.1:1"})
+	p := newPeerClient([]string{"http://127.0.0.1:1"}, newMetrics(), slog.New(slog.DiscardHandler))
 	ctx := context.Background()
 	_, err := p.do(ctx, 0, time.Second, "GET", "/v1/healthz", nil, nil)
 	if err == nil {

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"lasvegas/internal/obs"
 	"lasvegas/internal/store"
 )
 
@@ -56,6 +57,9 @@ func (s *Server) quorumRead(ctx context.Context, e *store.Entry, owners []int) e
 	if confirmed >= s.readQ {
 		return nil
 	}
+	s.met.quorumShortfall.With("read").Inc()
+	s.logger.Warn("read quorum shortfall",
+		"id", e.ID, "confirmed", confirmed, "want", s.readQ, "trace", obs.Trace(ctx))
 	return fmt.Errorf("%w: %d/%d owners hold a verified copy of %s", errReadQuorum, confirmed, s.readQ, e.ID)
 }
 

@@ -105,6 +105,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/url"
@@ -117,6 +118,7 @@ import (
 	"time"
 
 	"lasvegas"
+	"lasvegas/internal/obs"
 	"lasvegas/internal/store"
 )
 
@@ -218,6 +220,13 @@ type Config struct {
 	// converges without waiting for a read. The loop only runs when
 	// both ReplicaCount and ReplicationFactor are ≥ 2.
 	AntiEntropyInterval time.Duration
+	// Logger receives the daemon's structured logs: the per-request
+	// access log (with trace ID), peer breaker transitions, hint
+	// enqueue/drain events, anti-entropy rounds, fit delegations and
+	// shutdown. nil discards — the logging path still runs (so tests
+	// exercise exactly what production does), it just writes nowhere.
+	// cmd/lvserve passes a real handler tagged with the replica slot.
+	Logger *slog.Logger
 }
 
 // Server is the prediction daemon: a campaign/model store (in-memory
@@ -236,6 +245,9 @@ type Server struct {
 
 	writeQ int // write quorum W (1 = ack after the local fsync)
 	readQ  int // read quorum R (1 = any single owner answers)
+
+	logger *slog.Logger // structured logs (never nil; default discards)
+	met    *metrics     // the /v1/metrics registry and its families
 
 	closing   atomic.Bool
 	inflight  atomic.Int64  // requests currently inside Handler
@@ -366,6 +378,14 @@ func New(cfg Config) (*Server, error) {
 	if aeInterval < 0 {
 		aeInterval = 0 // explicitly disabled
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		// Discard rather than slog.Default(): the logging path runs
+		// identically, but an embedding test stays quiet unless it
+		// injects a handler on purpose.
+		logger = slog.New(slog.DiscardHandler)
+	}
+	met := newMetrics()
 	var st store.Store
 	var hints *store.Hints
 	if cfg.DataDir != "" {
@@ -374,8 +394,10 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		// The hint journal shares the data dir: a replica that crashes
-		// with undelivered hints still owes them after a restart.
-		if hints, err = store.OpenHints(filepath.Join(cfg.DataDir, "hints.log")); err != nil {
+		// with undelivered hints still owes them after a restart. The
+		// logger rides along so a quarantined log is attributed to this
+		// replica in the fleet's merged artifacts.
+		if hints, err = store.OpenHints(filepath.Join(cfg.DataDir, "hints.log"), logger); err != nil {
 			st.Close()
 			return nil, err
 		}
@@ -391,12 +413,15 @@ func New(cfg Config) (*Server, error) {
 		replicas:   replicas,
 		self:       cfg.ReplicaIndex,
 		repl:       repl,
-		peerc:      newPeerClient(peers),
+		peerc:      newPeerClient(peers, met, logger),
 		hints:      hints,
 		writeQ:     writeQ,
 		readQ:      readQ,
+		logger:     logger,
+		met:        met,
 		fitProbing: make(map[string]*fitShareCall),
 	}
+	s.registerGauges()
 	if replicas > 1 {
 		s.drainKick = make(chan struct{}, 1)
 		s.drainStop = make(chan struct{})
@@ -456,31 +481,77 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	herr := s.hints.Close()
 	serr := s.store.Close() // fsyncs the snapshot log
+	s.logger.Info("shutdown complete", "hints_remaining", s.hints.Depth())
 	return errors.Join(serr, herr)
 }
 
 // Handler returns the daemon's http.Handler. The wrapper counts
-// in-flight requests so Shutdown can drain them, and refuses new work
-// once shutdown has begun.
+// in-flight requests so Shutdown can drain them, refuses new work once
+// shutdown has begun, and carries the telemetry spine: every request
+// gets a trace ID (the caller's Lvserve-Trace-Id if it sent one, a
+// fresh one otherwise) that rides the request context onto every peer
+// hop and comes back on the response header, plus an access-log line
+// and a requests/latency observation per request.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/campaigns", s.handleCampaigns)
 	mux.HandleFunc("POST /v1/fit", s.handleFit)
 	mux.HandleFunc("GET /v1/predict", s.handlePredict)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/internal/campaign", s.handleInternalCampaign)
 	mux.HandleFunc("GET /v1/internal/digest", s.handleInternalDigest)
 	mux.HandleFunc("GET /v1/internal/fit-cache", s.handleInternalFitCache)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		trace := r.Header.Get(obs.TraceHeader)
+		if trace == "" {
+			trace = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, trace)
+		r = r.WithContext(obs.WithTrace(r.Context(), trace))
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		route := routeLabel(r.URL.Path)
+		defer func() {
+			d := time.Since(start)
+			s.met.observeRequest(route, rec.status, d)
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Int64("bytes", rec.bytes),
+				slog.Duration("duration", d),
+				slog.String("trace", trace),
+				slog.String("remote", r.RemoteAddr))
+		}()
 		if s.closing.Load() {
 			status := http.StatusServiceUnavailable // 503
-			s.writeJSON(w, status, errorResponse{Error: "serve: shutting down", Status: status})
+			s.writeJSON(rec, status, errorResponse{Error: "serve: shutting down", Status: status})
 			return
 		}
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
-		mux.ServeHTTP(w, r)
+		mux.ServeHTTP(rec, r)
 	})
+}
+
+// statusRecorder captures the status and body size a handler wrote,
+// for the access log and the requests counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
 }
 
 // --- wire types ---------------------------------------------------
@@ -795,6 +866,9 @@ func (s *Server) storeCampaign(w http.ResponseWriter, r *http.Request, c *lasveg
 	}
 	acks := 1 + s.replicate(r.Context(), owners, id, canonical)
 	if acks < s.writeQ {
+		s.met.quorumShortfall.With("write").Inc()
+		s.logger.Warn("write quorum shortfall",
+			"id", id, "acks", acks, "want", s.writeQ, "trace", obs.Trace(r.Context()))
 		s.writeError(w, fmt.Errorf("%w: %d/%d owner fsyncs for %s (the accepted copies are durable and hinted for redelivery)",
 			errWriteQuorum, acks, s.writeQ, id))
 		return
@@ -827,6 +901,9 @@ func (s *Server) replicate(ctx context.Context, owners []int, id string, canonic
 			// safe locally either way, so replication degrades to
 			// read-repair rather than failing the upload.
 			s.hints.Enqueue(o, id, canonical)
+			s.met.hintsEnqueued.Inc()
+			s.logger.Warn("replication write hinted",
+				"peer", o, "id", id, "error", err, "trace", obs.Trace(ctx))
 			s.kickDrain()
 			continue
 		}
@@ -1366,6 +1443,13 @@ func (s *Server) drainHints() {
 // is idempotent — hints carry canonical bytes whose ids are content
 // hashes, so a peer that already has the campaign just dedups.
 func (s *Server) flushHints(ctx context.Context) bool {
+	// Hint redelivery is background work with no originating request,
+	// so each drain pass gets a fresh trace ID — the receiving peer's
+	// access log ties its stores back to this pass.
+	if obs.Trace(ctx) == "" {
+		ctx = obs.WithTrace(ctx, obs.NewTraceID())
+	}
+	delivered := 0
 	for _, peer := range s.hints.Peers() {
 		for {
 			h, ok := s.hints.Next(peer)
@@ -1379,7 +1463,13 @@ func (s *Server) flushHints(ctx context.Context) bool {
 				break // still down; the next pass retries
 			}
 			s.hints.Ack(peer, h.ID)
+			s.met.hintsDelivered.Inc()
+			delivered++
 		}
+	}
+	if delivered > 0 {
+		s.logger.Info("hints redelivered",
+			"delivered", delivered, "remaining", s.hints.Depth(), "trace", obs.Trace(ctx))
 	}
 	return s.hints.Depth() == 0
 }

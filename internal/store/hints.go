@@ -7,7 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"sort"
 	"sync"
@@ -72,9 +72,14 @@ var errCorruptHintLog = errors.New("store: corrupt hint log record")
 // costs is a peer converging through anti-entropy instead of through
 // handoff — whereas refusing to boot takes the whole replica (and
 // every campaign it owns) offline. The corrupt log is renamed to
-// path+".corrupt" for the operator, the event is logged loudly, and
-// the journal starts empty; Quarantined reports it for healthz.
-func OpenHints(path string) (*Hints, error) {
+// path+".corrupt" for the operator, the event is logged loudly on
+// logger (nil discards — callers without a logging policy stay
+// quiet), and the journal starts empty; Quarantined reports it for
+// healthz.
+func OpenHints(path string, logger *slog.Logger) (*Hints, error) {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	h := NewHints()
 	good, err := h.replay(path)
 	if errors.Is(err, errCorruptHintLog) {
@@ -82,7 +87,8 @@ func OpenHints(path string) (*Hints, error) {
 		if rerr := os.Rename(path, qpath); rerr != nil {
 			return nil, fmt.Errorf("store: quarantining corrupt hint log: %v (%w)", rerr, err)
 		}
-		log.Printf("store: %v — quarantined the hint log to %s and starting empty; its undelivered hints now converge via anti-entropy", err, qpath)
+		logger.Warn("corrupt hint log quarantined; undelivered hints now converge via anti-entropy",
+			"error", err, "quarantined_to", qpath)
 		h = NewHints()
 		h.quarantined = true
 		good = 0

@@ -118,7 +118,7 @@ func TestHintsFIFOAndDedup(t *testing.T) {
 // and re-enqueueing a replayed hint still dedups.
 func TestHintsReplay(t *testing.T) {
 	path := filepath.Join(t.TempDir(), hintLog)
-	h, err := OpenHints(path)
+	h, err := OpenHints(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestHintsReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	h2, err := OpenHints(path)
+	h2, err := OpenHints(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestHintsReplay(t *testing.T) {
 // reset, so the journal is bounded by the backlog, not the history.
 func TestHintsTruncateOnDrain(t *testing.T) {
 	path := filepath.Join(t.TempDir(), hintLog)
-	h, err := OpenHints(path)
+	h, err := OpenHints(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestHintsTruncateOnDrain(t *testing.T) {
 func TestHintsTornTail(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, hintLog)
-	h, err := OpenHints(path)
+	h, err := OpenHints(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestHintsTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	h2, err := OpenHints(path)
+	h2, err := OpenHints(path, nil)
 	if err != nil {
 		t.Fatalf("torn tail must be dropped, got %v", err)
 	}
@@ -221,7 +221,7 @@ func TestHintsTornTail(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	h3, err := OpenHints(path)
+	h3, err := OpenHints(path, nil)
 	if err != nil {
 		t.Fatalf("corrupt complete record must quarantine, not fail: %v", err)
 	}
@@ -242,7 +242,7 @@ func TestHintsQuarantine(t *testing.T) {
 	if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	h, err := OpenHints(path)
+	h, err := OpenHints(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestHintsQuarantine(t *testing.T) {
 	// The fresh journal is durable again: enqueue survives a reopen.
 	mustEnqueue(t, h, 2, "b", `{"y":2}`)
 	h.Close()
-	h2, err := OpenHints(path)
+	h2, err := OpenHints(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

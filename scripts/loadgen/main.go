@@ -31,6 +31,20 @@
 // fit verdict — are successes. A 404 for a campaign this run holds an
 // upload ack for is a lost write and fails immediately.
 //
+// -metrics-check adds a telemetry cross-check to the load gate: after
+// the run it scrapes every target's GET /v1/metrics, requires the
+// request/peer/hint/anti-entropy/fit-share/quorum families to be
+// present, and compares the fleet's own sketch-backed p99 (the
+// server-side lvserve_request_latency_quantile_seconds gauge) against
+// the p99 this client observed. The server quantile measures handler
+// time only, while the client's includes the network, retries and
+// backoff — so the gate is one-sided: the server's p99 must be
+// positive and must not exceed the client's by more than
+// -metrics-tolerance (plus a fixed 250ms floor for near-zero runs).
+// A daemon whose self-reported latency distribution disagrees with
+// what its clients measured is lying about the very statistic the
+// project exists to estimate.
+//
 // The summary is one JSON object on stdout; the exit status is the
 // gate (0 = passed).
 package main
@@ -51,6 +65,7 @@ import (
 	"time"
 
 	"lasvegas"
+	"lasvegas/internal/obs"
 )
 
 func main() {
@@ -70,6 +85,8 @@ func main() {
 		convergeTO = flag.Duration("converge-timeout", 30*time.Second, "how long -verify and -wait-converged wait for convergence")
 		waitConv   = flag.Bool("wait-converged", false, "poll healthz only (no campaign reads or writes) until hints drain and -expect-copies holds")
 		expCopies  = flag.Int("expect-copies", 0, "with -wait-converged: total campaign copies the group must hold across all targets (0 = only require drained hints)")
+		metChk     = flag.Bool("metrics-check", false, "after the load run, scrape every target's /v1/metrics and gate on the server-side latency sketch agreeing with the client-observed p99")
+		metTol     = flag.Float64("metrics-tolerance", 0.5, "with -metrics-check: fractional headroom the server p99 may exceed the client p99 by before failing")
 	)
 	flag.Parse()
 	if *targetsS == "" {
@@ -112,7 +129,8 @@ func main() {
 	if *verify {
 		os.Exit(lg.verify(bodies, ids, *convergeTO))
 	}
-	os.Exit(lg.load(bodies, ids, *conc, *requests, *duration, *p99Budget))
+	mc := metricsGate{enabled: *metChk, tolerance: *metTol}
+	os.Exit(lg.load(bodies, ids, *conc, *requests, *duration, *p99Budget, mc))
 }
 
 // synthCampaign builds the i-th deterministic synthetic campaign:
@@ -209,18 +227,33 @@ func (lg *loadgen) upload(start int, body []byte) (string, error) {
 
 // summary is the one-line JSON report on stdout.
 type summary struct {
-	Requests  int      `json:"requests"`
-	Failures  int      `json:"failures"`
-	Retries   int64    `json:"retries"`
-	DurationS float64  `json:"duration_s"`
-	RPS       float64  `json:"rps"`
-	P50Ms     float64  `json:"p50_ms"`
-	P99Ms     float64  `json:"p99_ms"`
-	Errors    []string `json:"errors,omitempty"`
+	Requests  int            `json:"requests"`
+	Failures  int            `json:"failures"`
+	Retries   int64          `json:"retries"`
+	DurationS float64        `json:"duration_s"`
+	RPS       float64        `json:"rps"`
+	P50Ms     float64        `json:"p50_ms"`
+	P99Ms     float64        `json:"p99_ms"`
+	Metrics   *metricsReport `json:"metrics,omitempty"`
+	Errors    []string       `json:"errors,omitempty"`
+}
+
+// metricsGate configures the post-run telemetry cross-check.
+type metricsGate struct {
+	enabled   bool
+	tolerance float64 // fractional headroom over the client p99
+}
+
+// metricsReport is the cross-check's slice of the summary: the fleet's
+// self-reported p99 (max over targets and routes) next to the client's.
+type metricsReport struct {
+	ServerP99Ms float64 `json:"server_p99_ms"`
+	ClientP99Ms float64 `json:"client_p99_ms"`
+	Targets     int     `json:"targets"`
 }
 
 // load runs the mixed workload and returns the process exit status.
-func (lg *loadgen) load(bodies [][]byte, ids []string, conc, requests int, duration, p99Budget time.Duration) int {
+func (lg *loadgen) load(bodies [][]byte, ids []string, conc, requests int, duration, p99Budget time.Duration, mc metricsGate) int {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
@@ -303,6 +336,10 @@ func (lg *loadgen) load(bodies [][]byte, ids []string, conc, requests int, durat
 			s.Errors = append(s.Errors, e)
 		}
 	}
+	metricsErr := error(nil)
+	if mc.enabled {
+		s.Metrics, metricsErr = lg.crossCheckMetrics(s.P99Ms, mc.tolerance)
+	}
 	out, _ := json.MarshalIndent(s, "", "  ")
 	fmt.Println(string(out))
 	if s.Failures > 0 {
@@ -313,7 +350,74 @@ func (lg *loadgen) load(bodies [][]byte, ids []string, conc, requests int, durat
 		fmt.Fprintf(os.Stderr, "loadgen: p99 %.1fms exceeds the %s budget\n", s.P99Ms, p99Budget)
 		return 1
 	}
+	if metricsErr != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: metrics check: %v\n", metricsErr)
+		return 1
+	}
 	return 0
+}
+
+// metricFamilies is the telemetry contract -metrics-check enforces:
+// every family the issue's observability layer promises must be
+// present on every replica's scrape (registered families render even
+// before their first observation, so presence is unconditional).
+var metricFamilies = []string{
+	"lvserve_requests_total",
+	"lvserve_request_latency_seconds",
+	"lvserve_request_latency_quantile_seconds",
+	"lvserve_peer_requests_total",
+	"lvserve_peer_latency_seconds",
+	"lvserve_peer_breaker_transitions_total",
+	"lvserve_hints_enqueued_total",
+	"lvserve_hints_delivered_total",
+	"lvserve_hints_queue_depth",
+	"lvserve_anti_entropy_round_seconds",
+	"lvserve_anti_entropy_pulled_total",
+	"lvserve_fit_share_total",
+	"lvserve_quorum_shortfall_total",
+	"lvserve_store_campaigns",
+	"lvserve_inflight_requests",
+}
+
+// crossCheckMetrics scrapes every target and gates the fleet's
+// self-measured latency against the client's. The server quantile is
+// handler time only while the client's p99 includes network, rotating
+// retries and backoff, so only one direction can be asserted: the
+// server's p99 must be positive (the sketches really observed this
+// run) and at most clientP99·(1+tolerance) plus a 250ms floor that
+// keeps sub-millisecond runs from failing on noise.
+func (lg *loadgen) crossCheckMetrics(clientP99Ms, tolerance float64) (*metricsReport, error) {
+	serverP99 := 0.0
+	for _, target := range lg.targets {
+		status, data, _, err := lg.directDo(target, "GET", "/v1/metrics", nil)
+		if err != nil {
+			return nil, fmt.Errorf("scraping %s: %w", target, err)
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("scraping %s: status %d", target, status)
+		}
+		samples, err := obs.ParseText(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s metrics: %w", target, err)
+		}
+		for _, fam := range metricFamilies {
+			if !samples.HasFamily(fam) {
+				return nil, fmt.Errorf("%s serves no %s family", target, fam)
+			}
+		}
+		if p99, ok := samples.MaxLabeled("lvserve_request_latency_quantile_seconds", `quantile="0.99"`); ok && p99*1000 > serverP99 {
+			serverP99 = p99 * 1000
+		}
+	}
+	rep := &metricsReport{ServerP99Ms: serverP99, ClientP99Ms: clientP99Ms, Targets: len(lg.targets)}
+	if serverP99 <= 0 {
+		return rep, fmt.Errorf("no target reports a positive request p99 — the latency sketches never observed the run")
+	}
+	if budget := clientP99Ms*(1+tolerance) + 250; serverP99 > budget {
+		return rep, fmt.Errorf("server-side p99 %.1fms exceeds the client-observed %.1fms by more than the tolerance (budget %.1fms)",
+			serverP99, clientP99Ms, budget)
+	}
+	return rep, nil
 }
 
 // verify checks post-chaos convergence: every campaign re-uploads to

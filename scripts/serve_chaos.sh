@@ -7,8 +7,11 @@
 # restart it at two thirds, and gate on the group's availability
 # contract —
 #
-#   * loadgen exits 0: zero failed requests after client-side retries
-#     and the p99 budget holds;
+#   * loadgen exits 0: zero failed requests after client-side retries,
+#     the p99 budget holds, and the -metrics-check gate passes (every
+#     replica's /v1/metrics exposes every promised telemetry family
+#     and the server-side sketch p99 is positive and consistent with
+#     the client-observed p99);
 #   * loadgen -verify exits 0: every hint queue drains, every campaign
 #     re-uploads to its stable content id (zero lost campaigns), and
 #     all three replicas answer every fit/predict byte-identically —
@@ -38,8 +41,9 @@
 #   CHAOS_CAMPAIGNS    synthetic working set    (default 8)
 #   CHAOS_CONCURRENCY  loadgen workers          (default 6)
 #   CHAOS_P99          p99 latency budget       (default 5s)
-#   ARTIFACTS_DIR      keep replica logs and loadgen reports here
-#                      (default: the drill's temp dir, removed on exit)
+#   ARTIFACTS_DIR      keep per-replica JSON logs, /v1/metrics
+#                      snapshots and loadgen reports here (default:
+#                      the drill's temp dir, removed on exit)
 set -eu
 
 port="${1:-18090}"
@@ -90,11 +94,22 @@ aeint="0s"
 start_replica() {
     i="$1"
     eval "p=\$p$i"
+    # JSON logs: the per-replica artifact is machine-parseable, and a
+    # grep for any trace ID reconstructs a request's whole fan-out.
     "$tmp/lvserve" -addr "127.0.0.1:$p" -data-dir "$tmp/data$i" \
         -replica "$i/3" -replication-factor 2 -peers "$peers" \
-        -anti-entropy-interval "$aeint" \
+        -anti-entropy-interval "$aeint" -log-format json \
         >>"$logs/replica$i.log" 2>&1 &
     eval "pid$i=$!"
+}
+
+# scrape_metrics — snapshot every replica's /v1/metrics into the
+# artifacts dir, next to its structured log.
+scrape_metrics() {
+    for i in 0 1 2; do
+        eval "p=\$p$i"
+        curl -fsS "http://127.0.0.1:$p/v1/metrics" >"$logs/replica$i.metrics" || true
+    done
 }
 
 wait_healthy() {
@@ -185,13 +200,19 @@ if [ "$pass" = converge ]; then
         -verify -converge-timeout 60s >"$logs/verify2.json"
     cat "$logs/verify2.json"
 
+    scrape_metrics
     echo "serve chaos (converge): OK"
     exit 0
 fi
 
 echo "== loadgen: $duration of mixed load, $concurrency workers, $campaigns campaigns"
+# -metrics-check gates the drill on the telemetry contract too: after
+# the load, every replica's /v1/metrics must expose every promised
+# family, and the fleet-max server-side sketch p99 must be positive
+# and consistent with the client-observed p99.
 "$tmp/loadgen" -targets "$peers" -campaigns "$campaigns" \
     -concurrency "$concurrency" -duration "$duration" -p99 "$p99" \
+    -metrics-check \
     >"$logs/loadgen.json" 2>"$logs/loadgen.err" &
 loadpid=$!
 
@@ -236,4 +257,5 @@ curl -fsS "http://127.0.0.1:$p1/v1/healthz" | jq -e '
     .durable == true and .hints == 0 and .campaigns > 0
 ' >/dev/null
 
+scrape_metrics
 echo "serve chaos: OK"

@@ -13,8 +13,12 @@
 # pipes a campaign into the O(1)-memory NDJSON ingest, the
 # sketch-backed fit/predict must be sane and survive kill -9
 # byte-identically, and two shard streams pooled with {"merge_ids"}
-# must land on the single unsharded stream's content id. Exits
-# non-zero on any failed assertion; every daemon is always shut down.
+# must land on the single unsharded stream's content id. The final
+# observability pass checks Lvserve-Trace-Id on every response (both
+# generated and caller-supplied), then issues a known request mix and
+# requires /v1/metrics to expose every promised family with per-route
+# counters exactly matching the traffic. Exits non-zero on any failed
+# assertion; every daemon is always shut down.
 #
 #   scripts/serve_smoke.sh [port]
 #
@@ -342,5 +346,73 @@ curl -fsS "$base/v1/predict?id=$sid&cores=16,64,256&quantile=0.5&target=8" \
 stop_daemon
 cmp "$tmp/stream_fit.before" "$tmp/stream_fit.after"
 cmp "$tmp/stream_predict.before" "$tmp/stream_predict.after"
+
+# --- observability: every response carries a trace ID, and ----------
+# /v1/metrics exposes the whole telemetry contract with per-route
+# counters that match the exact traffic a fresh daemon just served.
+
+echo "== metrics: fresh daemon, trace IDs on every response"
+start_daemon
+trace="$(curl -fsS -D - -o /dev/null "$base/v1/healthz" |
+    tr -d '\r' | awk 'tolower($1) == "lvserve-trace-id:" {print $2}')"
+[ "${#trace}" = 16 ] || {
+    echo "healthz response trace ID = '$trace', want 16 hex chars" >&2
+    exit 1
+}
+echoed="$(curl -fsS -D - -o /dev/null -H 'Lvserve-Trace-Id: cafecafecafecafe' \
+    "$base/v1/healthz" |
+    tr -d '\r' | awk 'tolower($1) == "lvserve-trace-id:" {print $2}')"
+[ "$echoed" = cafecafecafecafe ] || {
+    echo "caller trace ID came back as '$echoed', want it echoed verbatim" >&2
+    exit 1
+}
+
+echo "== metrics: known traffic (1 upload, 2 fits, 3 predicts)"
+curl -fsS -d @"$fixture" "$base/v1/campaigns" >"$tmp/met_upload"
+mid="$(jq -r .id "$tmp/met_upload")"
+curl -fsS -d "{\"id\":\"$mid\"}" "$base/v1/fit" >/dev/null
+curl -fsS -d "{\"id\":\"$mid\"}" "$base/v1/fit" >/dev/null
+for q in 0.5 0.9 0.99; do
+    curl -fsS "$base/v1/predict?id=$mid&cores=16,64&quantile=$q" >/dev/null
+done
+
+echo "== metrics: scrape is valid exposition covering every family"
+curl -fsS -D "$tmp/met_headers" "$base/v1/metrics" >"$tmp/metrics.txt"
+stop_daemon
+grep -qi 'content-type: text/plain; version=0.0.4' "$tmp/met_headers"
+for fam in \
+    lvserve_requests_total \
+    lvserve_request_latency_seconds \
+    lvserve_request_latency_quantile_seconds \
+    lvserve_peer_requests_total \
+    lvserve_peer_latency_seconds \
+    lvserve_peer_breaker_transitions_total \
+    lvserve_hints_enqueued_total \
+    lvserve_hints_delivered_total \
+    lvserve_hints_queue_depth \
+    lvserve_anti_entropy_round_seconds \
+    lvserve_anti_entropy_pulled_total \
+    lvserve_fit_share_total \
+    lvserve_quorum_shortfall_total \
+    lvserve_store_campaigns \
+    lvserve_store_bytes \
+    lvserve_inflight_requests
+do
+    grep -q "^# TYPE $fam " "$tmp/metrics.txt" || {
+        echo "metrics scrape is missing family $fam:" >&2
+        cat "$tmp/metrics.txt" >&2
+        exit 1
+    }
+done
+
+echo "== metrics: per-route counters match the traffic issued"
+# healthz polls from wait_healthy are unknown-count, so only the three
+# deterministic routes are pinned; the scrape itself is recorded after
+# its handler finishes writing, so it never counts itself.
+grep -qF 'lvserve_requests_total{route="/v1/campaigns",status="2xx"} 1' "$tmp/metrics.txt"
+grep -qF 'lvserve_requests_total{route="/v1/fit",status="2xx"} 2' "$tmp/metrics.txt"
+grep -qF 'lvserve_requests_total{route="/v1/predict",status="2xx"} 3' "$tmp/metrics.txt"
+grep -qF 'lvserve_request_latency_seconds_count{route="/v1/fit"} 2' "$tmp/metrics.txt"
+grep -q 'lvserve_request_latency_quantile_seconds{route="/v1/fit",quantile="0.99"}' "$tmp/metrics.txt"
 
 echo "serve smoke: OK"
