@@ -249,6 +249,34 @@ func BenchmarkSketchIngest(b *testing.B) {
 	})
 }
 
+// BenchmarkPolicyTable measures one cold restart-policy table on the
+// committed 200-run Costas campaign: four closed-form prices, a
+// seeded replay per policy, and a bootstrap CI per policy — the work
+// GET /v1/policy does once per campaign before its bytes cache.
+func BenchmarkPolicyTable(b *testing.B) {
+	c, err := lasvegas.LoadCampaign("testdata/campaign_costas13.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := lasvegas.New(lasvegas.WithAlpha(0.05), lasvegas.WithCensoredFit(true))
+	best, err := pred.Fit(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := pred.PolicyTable(ctx, c, best)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if table.Winner == "" {
+			b.Fatal("empty winner")
+		}
+	}
+}
+
 // BenchmarkAdaptiveSolve measures one sequential solve per paper
 // benchmark at the scaled default sizes — the unit of work behind
 // every live campaign.

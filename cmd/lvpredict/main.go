@@ -10,10 +10,18 @@
 // (KS/AD verdicts restricted to the uncensored region), and the
 // plug-in predictor becomes the Kaplan–Meier product-limit law.
 //
+// With -policy the same fitted law also prices the four standard
+// restart strategies (no-restart, fixed-cutoff at the median, Luby,
+// fitted-optimal), validates each with a seeded replay of the
+// campaign plus a bootstrap CI, and prints the ranked table with the
+// binding winner — byte-agreeing with lvserve's GET /v1/policy on
+// the same campaign.
+//
 // Usage:
 //
 //	lvpredict -in costas12.json -cores 16,32,64,128,256
 //	lvpredict -in costas12_budgeted.json            # censored input
+//	lvpredict -in costas12.json -policy             # restart policies
 //	lvpredict -problem all-interval -size 20 -runs 200
 //	lvpredict -problem sat-3 -size 120 -runs 300
 package main
@@ -23,6 +31,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 
 	"lasvegas"
@@ -37,6 +47,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "seed")
 		coresS  = flag.String("cores", "16,32,64,128,256", "comma-separated core counts")
 		alpha   = flag.Float64("alpha", 0.05, "KS significance level")
+		policyF = flag.Bool("policy", false, "rank restart policies (no-restart / fixed-cutoff / Luby / fitted-optimal) with a seeded campaign replay and bootstrap CIs")
 	)
 	flag.Parse()
 
@@ -139,6 +150,52 @@ func main() {
 		}
 		fmt.Printf("%-8d %16.2f %16.2f\n", n, gp, ge)
 	}
+
+	if *policyF {
+		table, err := pred.PolicyTable(context.Background(), campaign, best)
+		if err != nil {
+			fatal(err)
+		}
+		renderPolicyTable(os.Stdout, table)
+	}
+}
+
+// renderPolicyTable prints the ranked restart-policy comparison:
+// closed-form price under the fitted law, the seeded replay mean
+// under the campaign's plug-in law, the bootstrap CI, and the gain
+// over running to completion. Shared by the golden-file test.
+func renderPolicyTable(w io.Writer, t *lasvegas.PolicyTable) {
+	fmt.Fprintf(w, "\nrestart policies (law %s, %d replay reps, %d bootstrap resamples):\n", t.Law, t.Reps, t.Resamples)
+	fmt.Fprintf(w, "%-16s %14s %12s %12s %26s %8s\n",
+		"policy", "cutoff/unit", "E[T] law", "E[T] replay", fmt.Sprintf("%.0f%% CI (replay law)", 100*t.Level), "gain")
+	for _, row := range t.Rows {
+		param := "-"
+		switch {
+		case row.Unit > 0:
+			param = fmt.Sprintf("u=%.4g", row.Unit)
+		case math.IsInf(row.Cutoff, 1):
+			param = "never"
+		case row.Cutoff > 0:
+			param = fmt.Sprintf("t=%.4g", row.Cutoff)
+		}
+		marker := ""
+		if row.Policy == t.Winner {
+			marker = "  <- winner"
+		}
+		fmt.Fprintf(w, "%-16s %14s %12s %12.6g %26s %8.3f%s\n",
+			row.Policy, param, renderPrice(row.Expected), row.Simulated,
+			fmt.Sprintf("[%s, %s]", renderPrice(row.Lo), renderPrice(row.Hi)), row.Gain, marker)
+	}
+	fmt.Fprintf(w, "winner: %s\n", t.Winner)
+}
+
+// renderPrice formats an expected runtime, which may be +Inf for a
+// schedule that cannot succeed.
+func renderPrice(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.6g", v)
 }
 
 func loadCampaign(in, problem string, size, runs int, seed uint64) (*lasvegas.Campaign, string, error) {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lasvegas"
+)
+
+// TestPolicyTableGolden pins the exact -policy table for the
+// committed Costas fixture: the policies, their prices, the replay
+// means, the CIs, and the winner line are all deterministic (fixed
+// fixture, fixed default seed), so the rendering is byte-stable.
+// Regenerate with UPDATE_POLICY=1. The serve-layer golden
+// (internal/serve) pins the same winner on the same fixture through
+// GET /v1/policy, which is what makes the CLI and the daemon
+// byte-agree on the verdict.
+func TestPolicyTableGolden(t *testing.T) {
+	c, err := lasvegas.LoadCampaign(filepath.Join("..", "..", "testdata", "campaign_costas13.json"))
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	// Exactly main()'s predictor: same options, same default seed —
+	// and the same configuration lvserve fits with, so the winner
+	// here is the winner the daemon serves.
+	pred := lasvegas.New(lasvegas.WithAlpha(0.05), lasvegas.WithCensoredFit(true))
+	best, err := pred.Fit(c)
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	table, err := pred.PolicyTable(context.Background(), c, best)
+	if err != nil {
+		t.Fatalf("policy table: %v", err)
+	}
+	var buf bytes.Buffer
+	renderPolicyTable(&buf, table)
+
+	golden := filepath.Join("testdata", "policy_table.golden")
+	if os.Getenv("UPDATE_POLICY") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_POLICY=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("policy table drifted from golden\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPolicyTableDeterministic: two builds of the table from the same
+// inputs must agree exactly — the property the byte-stability
+// contract of /v1/policy rests on.
+func TestPolicyTableDeterministic(t *testing.T) {
+	c, err := lasvegas.LoadCampaign(filepath.Join("..", "..", "testdata", "campaign_costas13.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := lasvegas.New(lasvegas.WithAlpha(0.05), lasvegas.WithCensoredFit(true))
+	a, err := pred.PolicyTable(context.Background(), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pred.PolicyTable(context.Background(), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	renderPolicyTable(&ba, a)
+	renderPolicyTable(&bb, b)
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Errorf("same inputs, different tables:\n%s\nvs\n%s", ba.Bytes(), bb.Bytes())
+	}
+}

@@ -76,6 +76,16 @@
 //	  localhost:8080/v1/campaigns
 //	curl -sd '{"merge_ids":["<id0>","<id1>"]}' localhost:8080/v1/campaigns
 //
+// Restart policies: GET /v1/policy?id=... prices the four standard
+// restart schedules (no-restart, fixed-cutoff at the median, Luby,
+// fitted-optimal) under the campaign's fitted law, validates each
+// with a seeded replay plus a bootstrap CI, and returns the ranked
+// table with a binding winner — the same verdict `lvpredict -policy`
+// prints for the same campaign. The rendered body is owner-routed,
+// cached per campaign, and byte-stable across restarts and replicas:
+//
+//	curl -s 'localhost:8080/v1/policy?id=<id>'
+//
 // Observability: the daemon logs structured lines (slog) to stderr —
 // -log-format picks text or json, -log-level sets the floor (debug
 // shows converged anti-entropy rounds and breaker probe churn) — and

@@ -90,6 +90,38 @@
 // SimulateSpeedups, BootstrapCI and LearnScaling still require
 // complete samples.
 //
+// # Restart policies
+//
+// A fitted law prices restart schedules. Model.Policies ranks the
+// four standard ones — never restarting, a fixed cutoff at the
+// median, the Luby universal sequence, and the law's own optimal
+// cutoff — by expected runtime under the Luby–Sinclair–Zuckerman
+// identity E[T(c)] = E[min(Y,c)]/F(c). Predictor.PolicyTable goes
+// further: each closed-form price is validated by a deterministic
+// seeded replay of the campaign (inverse-CDF resampling with
+// per-attempt cutoff truncation) plus a bootstrap percentile CI on
+// the campaign's own plug-in law, and the rows come back ranked with
+// a binding winner:
+//
+//	table, err := p.PolicyTable(ctx, campaign, model)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	for _, r := range table.Rows {
+//		fmt.Printf("%-15s E[T]=%.6g replay=%.6g±%.2g gain=%.3f\n",
+//			r.Policy, r.Expected, r.Simulated, r.StdErr, r.Gain)
+//	}
+//	fmt.Println("winner:", table.Winner)
+//
+// Heavy-tailed laws reward restarting — fitted-optimal wins with
+// gain > 1 — while exponential and lighter laws price every schedule
+// at E[Y] or worse and no-restart wins. A cutoff the law can never
+// reach prices to +Inf rather than erroring, so the table always has
+// four comparable rows. Every number is a pure function of (campaign,
+// policy, seed): `lvpredict -policy` renders the same table, and
+// lvserve serves it as GET /v1/policy?id=... with byte-stable bodies
+// and the same winner.
+//
 // # Serving
 //
 // cmd/lvserve (package internal/serve) puts the same pipeline behind

@@ -154,6 +154,22 @@ func (e *Empirical) MinExpectation(n int) float64 {
 	return sum
 }
 
+// TruncatedMean returns E[min(Y, c)] exactly in one O(m) pass — the
+// expected cost of one run under a restart cutoff c, which is what
+// makes restart-policy pricing on the plug-in law exact instead of
+// quadrature over a step CDF.
+func (e *Empirical) TruncatedMean(c float64) float64 {
+	var sum float64
+	for _, x := range e.sorted {
+		if x > c {
+			sum += c
+			continue
+		}
+		sum += x
+	}
+	return sum / float64(len(e.sorted))
+}
+
 // MinSample draws one realization of min(X₁..Xₙ) by the inverse-CDF
 // identity Z(n) = Q(1-(1-U)^{1/n}) — an O(1) draw on the sorted
 // array, distribution-identical to taking the minimum of n resamples.

@@ -1,0 +1,348 @@
+// Package policy prices restart strategies for a Las Vegas runtime
+// law and proves the prices by replaying them. It is the daemon's
+// answer to the operator question the paper leaves open: *should this
+// solver restart, and on what schedule?*
+//
+// Four strategies are compared on equal footing:
+//
+//   - no-restart: run to completion, E[T] = E[Y];
+//   - fixed-cutoff at t: the Luby–Sinclair–Zuckerman price
+//     E[T(t)] = E[min(Y,t)] / F(t);
+//   - Luby with unit u: cutoffs u·(1,1,2,1,1,2,4,…) — the universal
+//     schedule, within an O(log) factor of the unknown optimum;
+//   - fitted-optimal: the best fixed cutoff for the law at hand
+//     (Brent search on smooth laws, an exact atom scan on step laws).
+//
+// Every closed form runs through E[min(Y,c)], which step laws
+// (Empirical, Kaplan–Meier, quantile sketches) expose exactly via a
+// TruncatedMean method — so plug-in pricing never integrates a
+// discontinuous CDF. Smooth fitted laws fall back to tanh-sinh
+// quadrature, identical to internal/restart.
+//
+// The closed forms are validated two independent ways (see Simulate
+// and BootstrapCI): a deterministic seeded replay that re-runs the
+// observed runtimes under each schedule with restart truncation, and a
+// resampling bootstrap that prices each resample exactly to yield a CI
+// on the policy's expected runtime.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"lasvegas/internal/dist"
+	"lasvegas/internal/quad"
+	"lasvegas/internal/restart"
+)
+
+// Kind names a restart strategy. The strings are wire-stable: they
+// appear in /v1/policy bodies, lvpredict tables, and golden files.
+type Kind string
+
+const (
+	NoRestart     Kind = "no-restart"
+	FixedCutoff   Kind = "fixed-cutoff"
+	Luby          Kind = "luby"
+	FittedOptimal Kind = "fitted-optimal"
+)
+
+// Policy is a concrete restart schedule: a Kind plus its parameter.
+// Cutoff parameterizes FixedCutoff and FittedOptimal (+Inf means
+// "never restart"); Unit scales the Luby sequence.
+type Policy struct {
+	Kind   Kind
+	Cutoff float64
+	Unit   float64
+}
+
+// CutoffAt returns the cutoff for the i-th attempt (1-based) —
+// constant for fixed schedules, the scaled Luby term for Luby, +Inf
+// for no-restart.
+func (p Policy) CutoffAt(i int) float64 {
+	switch p.Kind {
+	case FixedCutoff, FittedOptimal:
+		return p.Cutoff
+	case Luby:
+		return p.Unit * float64(restart.LubyTerm(i))
+	default:
+		return math.Inf(1)
+	}
+}
+
+func (p Policy) validate() error {
+	switch p.Kind {
+	case NoRestart:
+		return nil
+	case FixedCutoff, FittedOptimal:
+		if math.IsInf(p.Cutoff, 1) {
+			return nil // "never restart" is a valid degenerate cutoff
+		}
+		if !(p.Cutoff > 0) {
+			return fmt.Errorf("policy: %s cutoff %v", p.Kind, p.Cutoff)
+		}
+		return nil
+	case Luby:
+		if !(p.Unit > 0) || math.IsInf(p.Unit, 1) {
+			return fmt.Errorf("policy: luby unit %v", p.Unit)
+		}
+		return nil
+	default:
+		return fmt.Errorf("policy: unknown kind %q", p.Kind)
+	}
+}
+
+// law is the minimal pricing surface: everything below reduces to the
+// CDF, the truncated mean E[min(Y,c)], and the mean. Two
+// implementations exist — distLaw wraps any dist.Dist, stepLaw prices
+// a sorted resample exactly for the bootstrap.
+type law interface {
+	cdf(x float64) float64
+	truncMean(c float64) (float64, error)
+	mean() float64
+}
+
+// truncatedMeaner is the exact fast path: step laws (Empirical,
+// KaplanMeier, Sketch) expose E[min(Y,c)] in closed form.
+type truncatedMeaner interface {
+	TruncatedMean(c float64) float64
+}
+
+type distLaw struct{ d dist.Dist }
+
+func (l distLaw) cdf(x float64) float64 { return l.d.CDF(x) }
+func (l distLaw) mean() float64         { return l.d.Mean() }
+
+func (l distLaw) truncMean(c float64) (float64, error) {
+	if tm, ok := l.d.(truncatedMeaner); ok {
+		return tm.TruncatedMean(c), nil
+	}
+	lo, _ := l.d.Support()
+	if math.IsInf(lo, -1) || lo < 0 {
+		lo = 0
+	}
+	if c <= lo {
+		return c, nil // F ≡ 0 below the support: min(Y,c) = c surely
+	}
+	// E[min(Y,c)] = c − ∫₀ᶜ F, same quadrature as restart.ExpectedRuntime.
+	integral, err := quad.TanhSinh(l.d.CDF, lo, c, 1e-10)
+	if err != nil {
+		return 0, fmt.Errorf("policy: integrating CDF: %w", err)
+	}
+	return c - integral, nil
+}
+
+// Expected prices policy p under distribution d in closed form. A
+// schedule that can never succeed (cutoffs below the support forever)
+// prices at +Inf rather than erroring: an infinitely bad policy is
+// still a comparable row.
+func Expected(d dist.Dist, p Policy) (float64, error) {
+	if d == nil {
+		return 0, errors.New("policy: nil distribution")
+	}
+	return price(distLaw{d}, p)
+}
+
+func price(l law, p Policy) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	switch p.Kind {
+	case NoRestart:
+		return l.mean(), nil
+	case FixedCutoff, FittedOptimal:
+		if math.IsInf(p.Cutoff, 1) {
+			return l.mean(), nil
+		}
+		fc := l.cdf(p.Cutoff)
+		if fc <= 0 {
+			return math.Inf(1), nil
+		}
+		tm, err := l.truncMean(p.Cutoff)
+		if err != nil {
+			return 0, err
+		}
+		return tm / fc, nil
+	default: // Luby
+		return lubyExpected(l, p.Unit)
+	}
+}
+
+const (
+	// lubySurvivalEps truncates the Luby series once the probability
+	// of still running is negligible; the discarded tail is bounded
+	// by survival · E[remaining cost] ≲ 1e-12 · E[T].
+	lubySurvivalEps = 1e-12
+	// lubyMaxRuns bounds the series when the unit sits so far below
+	// the support that success probability stays ~0 for a long time.
+	lubyMaxRuns = 1 << 20
+)
+
+// lubyExpected prices the Luby schedule by the exact series
+//
+//	E[T] = Σᵢ ( ∏_{j<i} (1−F(cⱼ)) ) · E[min(Y,cᵢ)],  cᵢ = u·luby(i),
+//
+// memoizing E[min(Y,c)] and F(c) per distinct cutoff — the Luby
+// sequence only ever visits log-many distinct values, so the series
+// costs O(runs) lookups plus O(log) truncated means.
+func lubyExpected(l law, u float64) (float64, error) {
+	type memo struct{ tm, fc float64 }
+	cache := make(map[int64]memo, 24)
+	survival := 1.0
+	var total float64
+	for i := 1; i <= lubyMaxRuns; i++ {
+		term := restart.LubyTerm(i)
+		m, ok := cache[term]
+		if !ok {
+			c := u * float64(term)
+			tm, err := l.truncMean(c)
+			if err != nil {
+				return 0, err
+			}
+			m = memo{tm: tm, fc: l.cdf(c)}
+			cache[term] = m
+		}
+		total += survival * m.tm
+		survival *= 1 - m.fc
+		if survival < lubySurvivalEps {
+			return total, nil
+		}
+	}
+	return 0, fmt.Errorf("policy: luby series did not converge in %d runs (unit %g below the law's support?)", lubyMaxRuns, u)
+}
+
+// optimalGrid caps the number of quantile atoms scanned when locating
+// the optimal cutoff of a step law.
+const optimalGrid = 512
+
+// Optimal finds the best fixed-cutoff policy under d. Smooth laws go
+// through restart.OptimalCutoff (Brent on a log axis); step laws —
+// recognizable by their exact TruncatedMean — get an exact scan over
+// quantile atoms, where the optimum of a piecewise-linear-over-step
+// objective must sit. Cutoff = +Inf with the mean as price means
+// restarts cannot beat running to completion.
+func Optimal(d dist.Dist) (Policy, float64, error) {
+	if d == nil {
+		return Policy{}, 0, errors.New("policy: nil distribution")
+	}
+	if _, ok := d.(truncatedMeaner); ok {
+		return optimalStep(d)
+	}
+	opt, err := restart.OptimalCutoff(d)
+	if err != nil {
+		return Policy{}, 0, err
+	}
+	return Policy{Kind: FittedOptimal, Cutoff: opt.Cutoff}, opt.Expected, nil
+}
+
+func optimalStep(d dist.Dist) (Policy, float64, error) {
+	l := distLaw{d}
+	meanY := l.mean()
+	if math.IsNaN(meanY) {
+		return Policy{}, 0, errors.New("policy: distribution has no mean")
+	}
+	bestC, bestE := math.Inf(1), meanY
+	prev := math.NaN()
+	for i := 1; i <= optimalGrid; i++ {
+		c := d.Quantile(float64(i) / float64(optimalGrid+1))
+		if c == prev || !(c > 0) {
+			continue
+		}
+		prev = c
+		e, err := price(l, Policy{Kind: FixedCutoff, Cutoff: c})
+		if err != nil {
+			return Policy{}, 0, err
+		}
+		if e < bestE {
+			bestC, bestE = c, e
+		}
+	}
+	// Mirror restart.OptimalCutoff's neutrality band: a sub-ppb win
+	// is numerical noise, not a reason to restart.
+	if !math.IsInf(bestC, 1) && bestE >= meanY*(1-1e-9) {
+		return Policy{Kind: FittedOptimal, Cutoff: math.Inf(1)}, meanY, nil
+	}
+	return Policy{Kind: FittedOptimal, Cutoff: bestC}, bestE, nil
+}
+
+// Evaluation is one priced row of a Panel.
+type Evaluation struct {
+	Policy   Policy
+	Expected float64 // closed-form E[T]; +Inf if the schedule never succeeds
+	Gain     float64 // E[Y] / Expected: >1 means the policy beats no-restart
+}
+
+// tiePreference ranks kinds when their prices tie within tolerance:
+// prefer the simpler or more robust policy. On a memoryless law all
+// four rows tie at E[Y] and no-restart must win.
+func tiePreference(k Kind) int {
+	switch k {
+	case NoRestart:
+		return 0
+	case FittedOptimal:
+		return 1
+	case Luby:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// priceTied reports whether two prices are operationally
+// indistinguishable (within a ppm, or both infinite).
+func priceTied(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-6*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// Panel prices the standard four-way comparison under d and returns
+// it ranked best-first: no-restart, fixed-cutoff at the law's median,
+// Luby with unit q(0.05), and the fitted optimum. Ties within a ppm
+// break by tiePreference, so the winner is deterministic — and is
+// no-restart on an exponential law, by memorylessness.
+func Panel(d dist.Dist) ([]Evaluation, error) {
+	if d == nil {
+		return nil, errors.New("policy: nil distribution")
+	}
+	l := distLaw{d}
+	meanY := l.mean()
+	if math.IsNaN(meanY) {
+		return nil, errors.New("policy: distribution has no mean")
+	}
+	optP, optE, err := Optimal(d)
+	if err != nil {
+		return nil, err
+	}
+	median := d.Quantile(0.5)
+	unit := d.Quantile(0.05)
+	if !(unit > 0) {
+		unit = math.Max(median/16, math.SmallestNonzeroFloat64)
+	}
+	evals := []Evaluation{
+		{Policy: Policy{Kind: NoRestart}, Expected: meanY},
+		{Policy: Policy{Kind: FixedCutoff, Cutoff: median}},
+		{Policy: Policy{Kind: Luby, Unit: unit}},
+		{Policy: optP, Expected: optE},
+	}
+	for i := range evals {
+		e := &evals[i]
+		if e.Policy.Kind == FixedCutoff || e.Policy.Kind == Luby {
+			e.Expected, err = price(l, e.Policy)
+			if err != nil {
+				return nil, err
+			}
+		}
+		e.Gain = meanY / e.Expected
+	}
+	sort.SliceStable(evals, func(i, j int) bool {
+		a, b := evals[i], evals[j]
+		if priceTied(a.Expected, b.Expected) {
+			return tiePreference(a.Policy.Kind) < tiePreference(b.Policy.Kind)
+		}
+		return a.Expected < b.Expected
+	})
+	return evals, nil
+}

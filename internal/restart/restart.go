@@ -131,6 +131,16 @@ func Luby(n int) []int64 {
 	return out
 }
 
+// LubyTerm returns the i-th term (1-based) of the Luby sequence
+// without materializing a prefix — the per-attempt cutoff source for
+// the policy replay simulator, where attempt indices are unbounded.
+func LubyTerm(i int) int64 {
+	if i < 1 {
+		return 1
+	}
+	return lubyTerm(i)
+}
+
 // lubyTerm computes the i-th term (1-based) of the Luby sequence.
 func lubyTerm(i int) int64 {
 	// If i = 2^k - 1, the term is 2^{k-1}; otherwise recurse on

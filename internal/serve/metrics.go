@@ -54,6 +54,11 @@ type metrics struct {
 
 	// Quorum shortfalls answered 503.
 	quorumShortfall *obs.CounterVec // kind (read | write)
+
+	// Restart-policy table computes on /v1/policy: computed (this
+	// request priced the table), cached (served the entry's cell), or
+	// error.
+	policyComputes *obs.CounterVec // event (computed | cached | error)
 }
 
 // newMetrics registers every family on a fresh registry.
@@ -87,6 +92,8 @@ func newMetrics() *metrics {
 			"Cross-replica fit single-flight outcomes.", "event"),
 		quorumShortfall: reg.Counter("lvserve_quorum_shortfall_total",
 			"Reads or writes refused (503) for lack of a quorum.", "kind"),
+		policyComputes: reg.Counter("lvserve_policy_computes_total",
+			"Restart-policy table computes on /v1/policy, by outcome.", "event"),
 	}
 }
 
@@ -112,8 +119,9 @@ func (s *Server) registerGauges() {
 // "other" so request paths can never explode metric cardinality.
 func routeLabel(path string) string {
 	switch path {
-	case "/v1/campaigns", "/v1/fit", "/v1/predict", "/v1/healthz", "/v1/metrics",
-		"/v1/internal/campaign", "/v1/internal/digest", "/v1/internal/fit-cache":
+	case "/v1/campaigns", "/v1/fit", "/v1/predict", "/v1/policy", "/v1/healthz",
+		"/v1/metrics", "/v1/internal/campaign", "/v1/internal/digest",
+		"/v1/internal/fit-cache":
 		return path
 	}
 	return "other"

@@ -22,6 +22,14 @@
 //	                     speed-up / min-expectation / quantile /
 //	                     cores-for-speedup queries against the cached
 //	                     model (fitting it on first use)
+//	GET  /v1/policy      ?id=... → the ranked restart-policy table:
+//	                     no-restart vs fixed-cutoff vs Luby vs
+//	                     fitted-optimal, priced in closed form under
+//	                     the fitted law, each row validated by a
+//	                     seeded campaign replay and a bootstrap CI on
+//	                     the plug-in law; the rendered body caches on
+//	                     the entry, so repeat reads are byte-identical
+//	                     and free
 //	GET  /v1/healthz     liveness plus store stats: campaigns, bytes,
 //	                     replica and shard range, snapshot-log replay
 //	                     counters
@@ -497,6 +505,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/campaigns", s.handleCampaigns)
 	mux.HandleFunc("POST /v1/fit", s.handleFit)
 	mux.HandleFunc("GET /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/policy", s.handlePolicy)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/internal/campaign", s.handleInternalCampaign)

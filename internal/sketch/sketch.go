@@ -532,6 +532,28 @@ func (s *Sketch) MinExpectation(n int) float64 {
 	return sum
 }
 
+// TruncatedMean returns E[min(Y, c)] in one pass over the weighted
+// retained sample — exact below capacity, within the sketch's rank
+// error above it. It is the restart-policy pricing hook: exact
+// truncated means on step laws avoid quadrature over a discontinuous
+// CDF.
+func (s *Sketch) TruncatedMean(c float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	v := s.view()
+	W := float64(s.n)
+	var sum, below float64
+	for i, x := range v.xs {
+		if x > c {
+			break
+		}
+		sum += x * v.ws[i]
+		below = v.cum[i]
+	}
+	return (sum + c*(W-below)) / W
+}
+
 // MinSample draws one realization of min(X₁..Xₙ) by the inverse-CDF
 // identity Z(n) = Q(1-(1-U)^{1/n}) — the same O(1)-per-draw engine
 // dist.Empirical gives multiwalk.Simulate.

@@ -244,7 +244,8 @@ type Entry struct {
 	// it would silently divorce the entry from its content id.
 	Campaign *lasvegas.Campaign
 
-	fit fitCell
+	fit    fitCell
+	policy policyCell
 
 	// adopted caches an opaque serve-layer value (a peer's rendered
 	// fit response) adopted instead of computing locally; it rides the
@@ -335,6 +336,38 @@ func (f *fitCell) peek() (FitOutcome, bool) {
 		return FitOutcome{}, false
 	}
 	return FitOutcome{Candidates: f.cands, Model: f.model, Err: f.fitErr}, true
+}
+
+// Policy returns the entry's restart-policy value, computing it at
+// most once via fn (single-flight, same discipline as Fit): policy
+// tables are deterministic per campaign, so both values and errors
+// cache — except cancellations, which must not poison the cell for
+// the next caller. computed reports whether this call ran fn (false:
+// served from cache), which the serve layer turns into a
+// computed-vs-cached metric. fn is responsible for its own gating;
+// the cell cannot hold a Gate slot itself because fn's fit step
+// acquires one, and nesting would deadlock a single-slot gate.
+func (e *Entry) Policy(fn func() (any, error)) (v any, computed bool, err error) {
+	e.policy.mu.Lock()
+	defer e.policy.mu.Unlock()
+	if e.policy.done {
+		return e.policy.v, false, e.policy.err
+	}
+	v, err = fn()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil, true, err
+	}
+	e.policy.v, e.policy.err = v, err
+	e.policy.done = true
+	return v, true, err
+}
+
+// policyCell is the once-cell behind Entry.Policy.
+type policyCell struct {
+	mu   sync.Mutex
+	done bool
+	v    any
+	err  error
 }
 
 // Gate bounds how many fit (and, in lvserve, collect) jobs run at

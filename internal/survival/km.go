@@ -255,6 +255,24 @@ func (k *KaplanMeier) String() string {
 	return fmt.Sprintf("KaplanMeier(m=%d, censored=%d, mean=%.6g)", k.m, k.m-k.ev, k.mean)
 }
 
+// TruncatedMean returns E[min(Y, c)] exactly from the survival steps:
+// Σ_{xᵢ≤c} xᵢ·(Ŝᵢ₋₁ − Ŝᵢ) + c·Ŝ(c) — the expected cost of one run
+// under a restart cutoff c, with censored observations contributing
+// zero event mass exactly as in MinExpectation. Keeping this exact
+// spares restart-policy pricing a quadrature over the step CDF.
+func (k *KaplanMeier) TruncatedMean(c float64) float64 {
+	var sum float64
+	hi := 1.0
+	for i := 0; i < k.m; i++ {
+		if k.xs[i] > c {
+			break
+		}
+		sum += k.xs[i] * (hi - k.surv[i])
+		hi = k.surv[i]
+	}
+	return sum + c*hi
+}
+
 // MinExpectation returns the exact expectation of the minimum of n
 // i.i.d. draws from the product-limit law,
 //

@@ -13,7 +13,11 @@
 # pipes a campaign into the O(1)-memory NDJSON ingest, the
 # sketch-backed fit/predict must be sane and survive kill -9
 # byte-identically, and two shard streams pooled with {"merge_ids"}
-# must land on the single unsharded stream's content id. The final
+# must land on the single unsharded stream's content id. The policy
+# pass asserts the GET /v1/policy restart-policy table: four ranked
+# rows with sane fields, the winner equal to the top row, byte-stable
+# bytes across a kill -9 replay, and exactly the winner that
+# `lvpredict -policy` prints for the same campaign. The final
 # observability pass checks Lvserve-Trace-Id on every response (both
 # generated and caller-supplied), then issues a known request mix and
 # requires /v1/metrics to expose every promised family with per-route
@@ -347,6 +351,52 @@ stop_daemon
 cmp "$tmp/stream_fit.before" "$tmp/stream_fit.after"
 cmp "$tmp/stream_predict.before" "$tmp/stream_predict.after"
 
+# --- restart policies: GET /v1/policy serves the ranked table, ------
+# byte-stable across kill -9, and its winner is exactly the verdict
+# `lvpredict -policy` prints for the same campaign.
+
+echo "== policy: daemon table (field sanity, winner = top row)"
+pdir="$tmp/policydata"
+start_daemon -data-dir "$pdir"
+curl -fsS -d @"$fixture" "$base/v1/campaigns" >/dev/null
+curl -fsS "$base/v1/policy?id=$did" >"$tmp/policy.before"
+# Four distinct policies ranked best-first, the winner binding to the
+# top row, finite replay means with CIs that bracket sanely, and every
+# row's gain positive (gain 1.0 marks ties with never-restarting).
+jq -e '
+    (.policies | length) == 4
+    and ([.policies[].policy] | sort) == ["fitted-optimal", "fixed-cutoff", "luby", "no-restart"]
+    and .winner == .policies[0].policy
+    and .law != null and .level == 0.95 and .reps > 0 and .resamples > 0
+    and ([.policies[] | select(.simulated <= 0 or .sim_stderr <= 0)] | length) == 0
+    and ([.policies[] | select(.ci_lo >= .ci_hi)] | length) == 0
+    and ([.policies[] | select(.gain <= 0)] | length) == 0
+' "$tmp/policy.before" >/dev/null
+
+echo "== policy: unknown id -> 404"
+code="$(curl -sS -o /dev/null -w '%{http_code}' "$base/v1/policy?id=c0000000000000000")"
+[ "$code" = 404 ]
+
+echo "== policy: kill -9, replay, byte-identical table"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+start_daemon -data-dir "$pdir"
+curl -fsS "$base/v1/policy?id=$did" >"$tmp/policy.after"
+stop_daemon
+cmp "$tmp/policy.before" "$tmp/policy.after"
+
+echo "== policy: lvpredict -policy agrees with the daemon's winner"
+go build -o "$tmp/lvpredict" ./cmd/lvpredict
+"$tmp/lvpredict" -in "$fixture" -policy >"$tmp/policy_cli"
+cli_winner="$(sed -n 's/^winner: //p' "$tmp/policy_cli")"
+daemon_winner="$(jq -r .winner "$tmp/policy.before")"
+[ -n "$cli_winner" ] || { echo "lvpredict -policy printed no winner line" >&2; exit 1; }
+[ "$cli_winner" = "$daemon_winner" ] || {
+    echo "CLI winner '$cli_winner' != daemon winner '$daemon_winner'" >&2
+    exit 1
+}
+
 # --- observability: every response carries a trace ID, and ----------
 # /v1/metrics exposes the whole telemetry contract with per-route
 # counters that match the exact traffic a fresh daemon just served.
@@ -393,6 +443,7 @@ for fam in \
     lvserve_anti_entropy_round_seconds \
     lvserve_anti_entropy_pulled_total \
     lvserve_fit_share_total \
+    lvserve_policy_computes_total \
     lvserve_quorum_shortfall_total \
     lvserve_store_campaigns \
     lvserve_store_bytes \

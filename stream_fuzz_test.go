@@ -1,0 +1,51 @@
+package lasvegas_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lasvegas"
+)
+
+// FuzzReadCampaignNDJSON pins the stream reader's failure contract:
+// whatever bytes arrive — malformed headers, torn records,
+// declared-count lies, binary garbage — the reader must never panic
+// and must fail only with the typed ErrStream (or ErrEmptyCampaign
+// for a well-formed empty stream). Anything it does accept must be a
+// usable sketch-backed campaign that re-encodes canonically.
+func FuzzReadCampaignNDJSON(f *testing.F) {
+	f.Add([]byte(`{"stream":1,"problem":"p","size":3,"seed":1,"runs":2}` + "\n" +
+		`{"iterations":12}` + "\n" + `{"iterations":34}` + "\n"))
+	// Declared-count lie: header promises 3 runs, stream carries 1.
+	f.Add([]byte(`{"stream":1,"problem":"p","runs":3}` + "\n" + `{"iterations":12}` + "\n"))
+	// Torn record: the writer died mid-line.
+	f.Add([]byte(`{"stream":1,"problem":"p","runs":2}` + "\n" + `{"iterat`))
+	// Missing header entirely.
+	f.Add([]byte(`{"iterations":12}` + "\n"))
+	// Unsupported future schema.
+	f.Add([]byte(`{"stream":99,"problem":"p"}` + "\n"))
+	// Non-finite observation.
+	f.Add([]byte(`{"stream":1,"problem":"p"}` + "\n" + `{"iterations":1e999}` + "\n"))
+	// Record without iterations.
+	f.Add([]byte(`{"stream":1,"problem":"p"}` + "\n" + `{"seconds":0.5}` + "\n"))
+	// Empty input and binary noise.
+	f.Add([]byte(""))
+	f.Add([]byte{0xff, 0xfe, 0x00, 0x7b})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := lasvegas.ReadCampaignNDJSON(bytes.NewReader(data), 0)
+		if err != nil {
+			if !errors.Is(err, lasvegas.ErrStream) && !errors.Is(err, lasvegas.ErrEmptyCampaign) {
+				t.Fatalf("untyped stream error: %v", err)
+			}
+			return
+		}
+		if c.TotalRuns() == 0 {
+			t.Fatalf("accepted a campaign with zero runs from %q", data)
+		}
+		if _, err := c.MarshalJSON(); err != nil {
+			t.Fatalf("accepted campaign does not re-encode: %v", err)
+		}
+	})
+}
